@@ -1,0 +1,1 @@
+"""Benchmark harness reproducing every figure/table of the paper's §V."""

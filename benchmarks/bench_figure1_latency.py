@@ -1,0 +1,47 @@
+"""Figure 1 — latency improvement for selected queries.
+
+The paper's Figure 1 plots per-query latency improvement of the fusion
+optimizations over the baseline for Q01, Q09, Q23, Q28, Q30, Q65, Q88,
+Q95: moderate gains (<10%…~50%) for the window-rewrite queries, 2–6×
+for the scalar-aggregate and union-refactor queries.
+
+Each query is planned once per pipeline; pytest-benchmark measures the
+execution latency of both plans, and the report prints the improvement
+series in the figure's structure.
+"""
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.tpcds.queries import STUDIED_QUERIES
+
+QUERIES = sorted(STUDIED_QUERIES)
+
+
+@pytest.mark.parametrize("name", QUERIES)
+def test_latency_baseline(benchmark, name, prepare):
+    base, _ = prepare(STUDIED_QUERIES[name])
+    benchmark.group = f"figure1:{name}"
+    benchmark.name = "baseline"
+    benchmark.pedantic(base.run, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("name", QUERIES)
+def test_latency_fused(benchmark, name, prepare):
+    base, fused = prepare(STUDIED_QUERIES[name])
+    benchmark.group = f"figure1:{name}"
+    benchmark.name = "fusion"
+    benchmark.pedantic(fused.run, rounds=3, iterations=1, warmup_rounds=1)
+
+    # Improvement series for the report (medians of fresh runs).
+    base_times = sorted(base.run()[1].wall_time_s for _ in range(3))
+    fused_times = sorted(fused.run()[1].wall_time_s for _ in range(3))
+    base_t, fused_t = base_times[1], fused_times[1]
+    speedup = base_t / fused_t if fused_t else float("inf")
+    improvement = (1 - fused_t / base_t) * 100 if base_t else 0.0
+    record(
+        "Figure 1: latency improvement (selected queries)",
+        name,
+        f"baseline={base_t*1000:7.1f}ms  fusion={fused_t*1000:7.1f}ms  "
+        f"speedup={speedup:4.2f}x  improvement={improvement:5.1f}%",
+    )

@@ -1,0 +1,103 @@
+"""Overall workload results (§V, text).
+
+The paper reports, over the full TPC-DS workload:
+
+* ~14% improvement in total execution time;
+* ~60% average improvement restricted to the queries whose plans
+  changed (some over 6×);
+* unchanged plans/performance for the rest.
+
+This bench runs the 32-query proxy workload (8 studied + 24 untouched
+fillers, DESIGN.md §4) under both pipelines and prints the same three
+numbers.
+"""
+
+import pytest
+
+from benchmarks.conftest import Prepared, record
+from repro.tpcds.queries import FILLER_QUERIES, STUDIED_QUERIES, WORKLOAD_QUERIES
+
+FUSION_RULES = {
+    "groupby_join_to_window",
+    "join_on_keys",
+    "union_all_fusion",
+    "union_all_on_join",
+}
+
+
+@pytest.fixture(scope="module")
+def prepared_workload(prepare):
+    return {name: prepare(sql) for name, sql in WORKLOAD_QUERIES.items()}
+
+
+def _run_all(plans, index):
+    total = 0.0
+    per_query = {}
+    for name, pair in plans.items():
+        _, metrics = pair[index].run()
+        total += metrics.wall_time_s
+        per_query[name] = metrics.wall_time_s
+    return total, per_query
+
+
+def test_workload_baseline(benchmark, prepared_workload):
+    benchmark.group = "overall-workload"
+    benchmark.name = "baseline"
+    benchmark.pedantic(lambda: _run_all(prepared_workload, 0), rounds=1, iterations=1)
+
+
+def test_workload_fusion(benchmark, prepared_workload, fused):
+    benchmark.group = "overall-workload"
+    benchmark.name = "fusion"
+    benchmark.pedantic(lambda: _run_all(prepared_workload, 1), rounds=1, iterations=1)
+
+    base_total, base_per_query = _run_all(prepared_workload, 0)
+    fused_total, fused_per_query = _run_all(prepared_workload, 1)
+
+    changed = []
+    for name in WORKLOAD_QUERIES:
+        fired = set(fused.execute(WORKLOAD_QUERIES[name]).fired_rules)
+        if FUSION_RULES & fired:
+            changed.append(name)
+
+    overall = (1 - fused_total / base_total) * 100
+    improvements = [
+        (1 - fused_per_query[name] / base_per_query[name]) * 100 for name in changed
+    ]
+    changed_mean = sum(improvements) / len(improvements) if improvements else 0.0
+    best = max(
+        (base_per_query[n] / fused_per_query[n] for n in changed), default=1.0
+    )
+
+    section = "Overall workload (paper §V: 14% total, 60% on changed plans)"
+    record(section, "queries", f"{len(WORKLOAD_QUERIES)} total, {len(changed)} changed plans")
+    record(
+        section,
+        "total time",
+        f"baseline={base_total*1000:8.1f}ms  fusion={fused_total*1000:8.1f}ms  "
+        f"improvement={overall:5.1f}%",
+    )
+    record(section, "changed-only", f"mean improvement={changed_mean:5.1f}%")
+    record(section, "best query", f"{best:4.2f}x speedup")
+
+    # Shape assertions: the studied queries (and only they) change.
+    assert set(changed) == set(STUDIED_QUERIES)
+    assert fused_total < base_total
+
+
+def test_fillers_do_not_regress(benchmark, prepared_workload):
+    """Queries outside the fusion patterns must be unaffected."""
+    benchmark.group = "overall-workload"
+    benchmark.name = "fillers"
+
+    def run_fillers():
+        total_base = total_fused = 0.0
+        for name in FILLER_QUERIES:
+            base, fused = prepared_workload[name]
+            total_base += base.run()[1].wall_time_s
+            total_fused += fused.run()[1].wall_time_s
+        return total_base, total_fused
+
+    total_base, total_fused = benchmark.pedantic(run_fillers, rounds=1, iterations=1)
+    # Identical plans: allow generous noise either way.
+    assert total_fused < total_base * 1.25

@@ -1,0 +1,104 @@
+"""Benchmark fixtures and the paper-style report.
+
+Benchmarks run on a generated dataset whose scale is controlled by the
+``REPRO_BENCH_SCALE`` environment variable (default 0.2 — large enough
+that per-query work dominates fixed overheads, small enough for a
+laptop).  Every benchmark asserts baseline/fused result equivalence
+before measuring.
+
+Each module records rows into a global report; at session end the
+report is printed in the structure of the paper's figures and tables
+(see EXPERIMENTS.md for the side-by-side with the published numbers).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+import pytest
+
+from repro.engine.executor import execute
+from repro.engine.metrics import RunContext, Stopwatch
+from repro.engine.session import Session
+from repro.optimizer.config import OptimizerConfig
+from repro.tpcds.generator import generate_dataset
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+#: module -> list of (label, text) rows, printed at session end.
+REPORT: dict[str, list[tuple[str, str]]] = defaultdict(list)
+
+
+def record(section: str, label: str, text: str) -> None:
+    REPORT[section].append((label, text))
+
+
+@pytest.fixture(scope="session")
+def store():
+    return generate_dataset(scale=BENCH_SCALE, seed=7)
+
+
+@pytest.fixture(scope="session")
+def baseline(store) -> Session:
+    return Session(store, OptimizerConfig(enable_fusion=False))
+
+
+@pytest.fixture(scope="session")
+def fused(store) -> Session:
+    return Session(store, OptimizerConfig(enable_fusion=True))
+
+
+class Prepared:
+    """A query planned once; execution is what gets benchmarked
+    (matching the paper's latency axis, which measures runs of compiled
+    plans on a warmed service)."""
+
+    def __init__(self, session: Session, sql: str):
+        self.store = session.store
+        self.plan, self.columns = session.plan(sql)
+
+    def run(self):
+        ctx = RunContext(self.store)
+        with Stopwatch(ctx.metrics):
+            rows = list(execute(self.plan, ctx))
+        ctx.metrics.rows_output = len(rows)
+        return rows, ctx.metrics
+
+
+def sorted_rows(rows):
+    return sorted(rows, key=lambda r: tuple((v is None, str(v)) for v in r))
+
+
+@pytest.fixture(scope="session")
+def prepare(baseline, fused):
+    """prepare(sql) -> (baseline Prepared, fused Prepared), with result
+    equivalence asserted."""
+    cache: dict[str, tuple[Prepared, Prepared]] = {}
+
+    def get(sql: str) -> tuple[Prepared, Prepared]:
+        if sql not in cache:
+            base = Prepared(baseline, sql)
+            fuse = Prepared(fused, sql)
+            rows_base, _ = base.run()
+            rows_fused, _ = fuse.run()
+            assert sorted_rows(rows_base) == sorted_rows(rows_fused), (
+                "baseline and fused plans disagree"
+            )
+            cache[sql] = (base, fuse)
+        return cache[sql]
+
+    return get
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not REPORT:
+        return
+    lines = ["", "=" * 72, f"Paper-figure report (scale={BENCH_SCALE})", "=" * 72]
+    for section in sorted(REPORT):
+        lines.append("")
+        lines.append(section)
+        lines.append("-" * len(section))
+        for label, text in REPORT[section]:
+            lines.append(f"  {label:<14} {text}")
+    print("\n".join(lines))

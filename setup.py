@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .`` with build isolation) cannot
+build an editable wheel.  This shim enables the legacy code path:
+``pip install -e . --no-build-isolation`` or ``python setup.py develop``.
+Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

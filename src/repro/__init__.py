@@ -1,0 +1,39 @@
+"""athena-fusion-repro: computation reuse via query fusion.
+
+A from-scratch reproduction of *Computation Reuse via Fusion in Amazon
+Athena* (ICDE 2022): the ``Fuse(P1, P2) -> (P, M, L, R)`` primitive
+(§III), the fusion-based optimizer rules (§IV), and every substrate
+they need — SQL frontend, logical algebra, rule-based optimizer,
+streaming executor with bytes-scanned accounting, columnar partitioned
+storage, and a synthetic TPC-DS workload (§V).
+
+Quickstart::
+
+    from repro import Session, generate_dataset
+    from repro.optimizer import BASELINE, FUSION
+
+    store = generate_dataset(scale=0.1)
+    session = Session(store, FUSION)
+    result = session.execute("SELECT count(*) FROM store_sales")
+    print(result.rows, result.metrics.summary())
+"""
+
+from repro.engine.session import QueryResult, Session
+from repro.fusion import Fuser, FusionResult
+from repro.optimizer import BASELINE, FUSION, OptimizerConfig, optimize
+from repro.tpcds.generator import generate_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Session",
+    "QueryResult",
+    "Fuser",
+    "FusionResult",
+    "OptimizerConfig",
+    "BASELINE",
+    "FUSION",
+    "optimize",
+    "generate_dataset",
+    "__version__",
+]

@@ -1,0 +1,96 @@
+"""Columns and column identity.
+
+A :class:`Column` is the unit of identity in plans: every operator's
+output schema is a sequence of Columns, and expressions reference
+Columns directly (not names).  Following the practice the paper calls
+out for Athena ("the engine follows the common practice of assigning
+new column identities to each instance of the same table"), each table
+scan instance allocates *fresh* Columns.  Two scans of ``item``
+therefore produce disjoint column ids, and the fusion mapping ``M``
+(:mod:`repro.fusion.mapping`) is a map between column ids.
+
+Columns compare and hash by id only; the name is for display.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.algebra.types import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A uniquely identified column produced by some plan operator."""
+
+    cid: int
+    name: str
+    dtype: DataType
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Column) and self.cid == other.cid
+
+    def __hash__(self) -> int:
+        return hash(self.cid)
+
+    def __repr__(self) -> str:
+        return f"{self.name}#{self.cid}"
+
+    def renamed(self, name: str) -> "Column":
+        """The same column identity displayed under a different name."""
+        return Column(self.cid, name, self.dtype)
+
+
+class ColumnAllocator:
+    """Allocates fresh column ids.
+
+    One allocator is shared per planning context (binder + optimizer) so
+    every column created while planning a query has a unique id.  Tests
+    create their own allocators for deterministic ids.
+    """
+
+    def __init__(self, start: int = 1):
+        self._counter = itertools.count(start)
+
+    def fresh(self, name: str, dtype: DataType) -> Column:
+        """A brand-new column with a unique id."""
+        return Column(next(self._counter), name, dtype)
+
+    def like(self, column: Column, name: str | None = None) -> Column:
+        """A fresh column with the same type (and, by default, name)."""
+        return self.fresh(name if name is not None else column.name, column.dtype)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered sequence of columns with name lookup."""
+
+    columns: tuple[Column, ...]
+    _by_name: dict = field(init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __post_init__(self) -> None:
+        index: dict[str, list[Column]] = {}
+        for col in self.columns:
+            index.setdefault(col.name.lower(), []).append(col)
+        object.__setattr__(self, "_by_name", index)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, column: Column) -> bool:
+        return any(col == column for col in self.columns)
+
+    def find(self, name: str) -> list[Column]:
+        """All columns matching ``name`` (case-insensitive)."""
+        return list(self._by_name.get(name.lower(), []))
+
+    def index_of(self, column: Column) -> int:
+        """Position of ``column`` in the schema (by column id)."""
+        for i, col in enumerate(self.columns):
+            if col == column:
+                return i
+        raise KeyError(f"column {column!r} not in schema {self.columns}")

@@ -1,0 +1,5 @@
+"""Catalog: table metadata, keys, partitioning, and statistics."""
+
+from repro.catalog.catalog import Catalog, ColumnDef, TableDef
+
+__all__ = ["Catalog", "TableDef", "ColumnDef"]

@@ -1,0 +1,131 @@
+"""Table metadata.
+
+The catalog plays the role AWS Glue plays for Athena: it maps table
+names to schemas over externally stored data, records primary keys and
+the partition column (the 7 large TPC-DS fact tables are partitioned by
+their date key, as in the paper's experimental setup), and carries the
+row-count statistics the optimizer's cost heuristics consult (§IV.E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.schema import Column, ColumnAllocator
+from repro.algebra.types import DataType
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one stored column, used by the cardinality
+    estimator behind §IV.E's 'local heuristics based on statistics'."""
+
+    #: Number of distinct non-NULL values.
+    ndv: int = 0
+    #: Fraction of NULL values (0.0–1.0).
+    null_fraction: float = 0.0
+    #: Min/max over non-NULL values (None for all-NULL columns).
+    min_value: object | None = None
+    max_value: object | None = None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """Schema entry for one stored column."""
+
+    name: str
+    dtype: DataType
+    #: Average encoded bytes per value; only meaningful for STRING
+    #: columns (others use the type's fixed width).
+    avg_string_bytes: float | None = None
+
+
+@dataclass(frozen=True)
+class TableDef:
+    """Schema + physical metadata for one table."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: tuple[str, ...] = ()
+    partition_column: str | None = None
+    row_count: int = 0
+
+    def __post_init__(self) -> None:
+        names = [c.name.lower() for c in self.columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in table {self.name!r}")
+        if self.partition_column is not None and self.partition_column.lower() not in names:
+            raise CatalogError(
+                f"partition column {self.partition_column!r} not in table {self.name!r}"
+            )
+
+    def column(self, name: str) -> ColumnDef:
+        for col in self.columns:
+            if col.name.lower() == name.lower():
+                return col
+        raise CatalogError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(col.name.lower() == name.lower() for col in self.columns)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+
+class Catalog:
+    """A registry of :class:`TableDef` plus a shared column allocator.
+
+    The allocator guarantees that every scan instance planned against
+    this catalog gets globally fresh column ids — the property fusion's
+    column mapping ``M`` depends on.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableDef] = {}
+        self._column_stats: dict[tuple[str, str], ColumnStats] = {}
+        self.allocator = ColumnAllocator()
+
+    def set_column_stats(self, table: str, column: str, stats: ColumnStats) -> None:
+        self._column_stats[(table.lower(), column.lower())] = stats
+
+    def column_stats(self, table: str, column: str) -> ColumnStats | None:
+        return self._column_stats.get((table.lower(), column.lower()))
+
+    def register(self, table: TableDef) -> None:
+        self._tables[table.name.lower()] = table
+
+    def table(self, name: str) -> TableDef:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} is not registered") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> list[TableDef]:
+        return list(self._tables.values())
+
+    def fresh_scan_columns(self, name: str) -> tuple[tuple[Column, ...], tuple[str, ...]]:
+        """Fresh column identities (plus source names) for one scan
+        instance of ``name``."""
+        table = self.table(name)
+        columns = tuple(
+            self.allocator.fresh(c.name, c.dtype) for c in table.columns
+        )
+        return columns, table.column_names
+
+    def row_count(self, name: str) -> int:
+        return self.table(name).row_count
+
+    def set_row_count(self, name: str, count: int) -> None:
+        table = self.table(name)
+        self._tables[name.lower()] = TableDef(
+            table.name,
+            table.columns,
+            table.primary_key,
+            table.partition_column,
+            count,
+        )

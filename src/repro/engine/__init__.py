@@ -1,0 +1,17 @@
+"""Streaming execution engine with scan/memory accounting."""
+
+from repro.engine.evaluator import Aggregator, compile_expression
+from repro.engine.executor import execute
+from repro.engine.metrics import QueryMetrics, RunContext, Stopwatch
+from repro.engine.session import QueryResult, Session
+
+__all__ = [
+    "Session",
+    "QueryResult",
+    "QueryMetrics",
+    "RunContext",
+    "Stopwatch",
+    "execute",
+    "compile_expression",
+    "Aggregator",
+]

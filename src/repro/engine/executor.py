@@ -1,0 +1,550 @@
+"""Streaming plan execution.
+
+Operators are Python generators pulling from their children — the
+single-process analogue of Athena's streaming execution, in which
+intermediate results flow producer→consumer without materialization.
+The property the paper's motivation rests on holds here by
+construction: a common subexpression that appears twice in a plan is
+*executed* twice, re-scanning its inputs (and re-charging the scan
+accounting).
+
+Pipeline-breaking operators (hash join build sides, aggregation,
+sort, window, mark-distinct) register their resident state with the
+:class:`~repro.engine.metrics.RunContext` so peak memory pressure is
+observable (the §V.C spilling discussion).
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from operator import itemgetter
+from typing import Callable, Iterator
+
+from repro.algebra.expressions import (
+    TRUE,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    Literal,
+    columns_in,
+    conjuncts,
+    make_and,
+)
+from repro.algebra.operators import (
+    EnforceSingleRow,
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    Limit,
+    MarkDistinct,
+    PlanNode,
+    Project,
+    ScalarApply,
+    Scan,
+    Sort,
+    Spool,
+    UnionAll,
+    Values,
+    Window,
+)
+from repro.algebra.schema import Column
+from repro.engine.evaluator import Aggregator, compile_expression
+from repro.engine.metrics import RunContext
+from repro.errors import ExecutionError
+from repro.storage.columnar import ColumnChunk
+
+Row = tuple
+
+
+def execute(plan: PlanNode, ctx: RunContext) -> Iterator[Row]:
+    """Execute ``plan``, yielding output rows.
+
+    Each call produces a fresh execution (fresh operator state); the
+    ScalarApply fallback relies on this to re-run its subquery per
+    outer row.
+    """
+    if isinstance(plan, Scan):
+        return _run_scan(plan, ctx)
+    if isinstance(plan, Values):
+        return iter(plan.rows)
+    if isinstance(plan, Filter):
+        return _run_filter(plan, ctx)
+    if isinstance(plan, Project):
+        return _run_project(plan, ctx)
+    if isinstance(plan, Join):
+        return _run_join(plan, ctx)
+    if isinstance(plan, GroupBy):
+        return _run_group_by(plan, ctx)
+    if isinstance(plan, MarkDistinct):
+        return _run_mark_distinct(plan, ctx)
+    if isinstance(plan, Window):
+        return _run_window(plan, ctx)
+    if isinstance(plan, UnionAll):
+        return _run_union_all(plan, ctx)
+    if isinstance(plan, Sort):
+        return _run_sort(plan, ctx)
+    if isinstance(plan, Limit):
+        return islice(execute(plan.child, ctx), plan.count)
+    if isinstance(plan, EnforceSingleRow):
+        return _run_enforce_single_row(plan, ctx)
+    if isinstance(plan, ScalarApply):
+        return _run_scalar_apply(plan, ctx)
+    if isinstance(plan, Spool):
+        return _run_spool(plan, ctx)
+    raise ExecutionError(f"no executor for operator {plan.name}")
+
+
+def _run_spool(plan: "Spool", ctx: RunContext) -> Iterator[Row]:
+    cache = ctx.spool_cache.get(plan.spool_id)
+    if cache is None:
+        cache = list(execute(plan.child, ctx))
+        ctx.spool_cache[plan.spool_id] = cache
+        # Materialized state stays resident for the rest of the query.
+        ctx.state_add(len(cache))
+        ctx.metrics.spooled_rows += len(cache)
+    ctx.metrics.spool_read_rows += len(cache)
+    return iter(cache)
+
+
+# -- scans ---------------------------------------------------------------
+
+
+def _partition_pruner(scan: Scan) -> Callable[[ColumnChunk], bool] | None:
+    """Build a chunk-level min/max check from the scan predicate's
+    conjuncts on the partition column.  Returns None when the predicate
+    cannot prune."""
+    if scan.predicate is None:
+        return None
+    checks: list[Callable[[ColumnChunk], bool]] = []
+    by_cid = {col.cid: src for col, src in zip(scan.columns, scan.source_names)}
+
+    def source_name(expr: Expression) -> str | None:
+        if isinstance(expr, ColumnRef):
+            return by_cid.get(expr.column.cid)
+        return None
+
+    for term in conjuncts(scan.predicate):
+        if isinstance(term, Comparison):
+            left, right, op = term.left, term.right, term.op
+            if isinstance(right, ColumnRef) and isinstance(left, Literal):
+                term = term.commuted()
+                left, right, op = term.left, term.right, term.op
+            name = source_name(left)
+            if name is None or not isinstance(right, Literal) or right.value is None:
+                continue
+            value = right.value
+            checks.append(_range_check(name, op, value))
+        elif isinstance(term, InList) and all(
+            isinstance(i, Literal) for i in term.items
+        ):
+            name = source_name(term.operand)
+            if name is None:
+                continue
+            values = [i.value for i in term.items if i.value is not None]
+            checks.append(_in_check(name, values))
+    if not checks:
+        return None
+
+    def prune(chunk: ColumnChunk) -> bool:
+        if chunk.min_value is None or chunk.max_value is None:
+            return True  # all-NULL or empty chunk: cannot prune safely
+        return all(check(chunk) for check in checks)
+
+    return prune
+
+
+def _range_check(name: str, op: str, value: object) -> Callable[[ColumnChunk], bool]:
+    def check(chunk: ColumnChunk) -> bool:
+        if chunk.name.lower() != name.lower():
+            return True
+        low, high = chunk.min_value, chunk.max_value
+        try:
+            if op == "=":
+                return low <= value <= high
+            if op == "<":
+                return low < value
+            if op == "<=":
+                return low <= value
+            if op == ">":
+                return high > value
+            if op == ">=":
+                return high >= value
+        except TypeError:
+            return True
+        return True  # <> cannot prune on ranges
+
+    return check
+
+
+def _in_check(name: str, values: list[object]) -> Callable[[ColumnChunk], bool]:
+    def check(chunk: ColumnChunk) -> bool:
+        if chunk.name.lower() != name.lower():
+            return True
+        low, high = chunk.min_value, chunk.max_value
+        try:
+            return any(low <= v <= high for v in values)
+        except TypeError:
+            return True
+
+    return check
+
+
+def _run_scan(plan: Scan, ctx: RunContext) -> Iterator[Row]:
+    rows = ctx.store.scan(
+        plan.table,
+        plan.source_names,
+        ctx.accounting,
+        partition_predicate=_partition_pruner(plan),
+    )
+    if plan.predicate is None:
+        yield from rows
+        return
+    predicate = compile_expression(plan.predicate, plan.columns, ctx.env)
+    for row in rows:
+        if predicate(row) is True:
+            yield row
+
+
+# -- row-at-a-time operators -----------------------------------------------
+
+
+def _run_filter(plan: Filter, ctx: RunContext) -> Iterator[Row]:
+    condition = compile_expression(plan.condition, plan.child.output_columns, ctx.env)
+    for row in execute(plan.child, ctx):
+        if condition(row) is True:
+            yield row
+
+
+def _run_project(plan: Project, ctx: RunContext) -> Iterator[Row]:
+    child_columns = plan.child.output_columns
+    indexes = {c.cid: i for i, c in enumerate(child_columns)}
+    # Pass-through column references resolve to plain tuple indexes
+    # (int slots); only computed expressions pay a closure call.
+    slots: list = []
+    for _, expr in plan.assignments:
+        if isinstance(expr, ColumnRef) and expr.column.cid in indexes:
+            slots.append(indexes[expr.column.cid])
+        else:
+            slots.append(compile_expression(expr, child_columns, ctx.env))
+    if all(isinstance(s, int) for s in slots):
+        if not slots:
+            for _ in execute(plan.child, ctx):
+                yield ()
+            return
+        getter = itemgetter(*slots)
+        if len(slots) == 1:
+            for row in execute(plan.child, ctx):
+                yield (getter(row),)
+        else:
+            for row in execute(plan.child, ctx):
+                yield getter(row)
+        return
+    for row in execute(plan.child, ctx):
+        yield tuple(
+            row[slot] if type(slot) is int else slot(row) for slot in slots
+        )
+
+
+# -- joins ---------------------------------------------------------------
+
+
+def _split_join_condition(
+    condition: Expression | None,
+    left_columns: tuple[Column, ...],
+    right_columns: tuple[Column, ...],
+):
+    """Split a join condition into hashable equi-pairs and a residual."""
+    left_set = {c.cid for c in left_columns}
+    right_set = {c.cid for c in right_columns}
+    equi: list[tuple[Expression, Expression]] = []
+    residual: list[Expression] = []
+    for term in conjuncts(condition):
+        if isinstance(term, Comparison) and term.op == "=":
+            lcols = {c.cid for c in columns_in(term.left)}
+            rcols = {c.cid for c in columns_in(term.right)}
+            if lcols and rcols and lcols <= left_set and rcols <= right_set:
+                equi.append((term.left, term.right))
+                continue
+            if lcols and rcols and lcols <= right_set and rcols <= left_set:
+                equi.append((term.right, term.left))
+                continue
+        residual.append(term)
+    return equi, make_and(residual) if residual else TRUE
+
+
+def _run_join(plan: Join, ctx: RunContext) -> Iterator[Row]:
+    left_columns = plan.left.output_columns
+    right_columns = plan.right.output_columns
+
+    if plan.kind is JoinKind.CROSS:
+        right_rows = list(execute(plan.right, ctx))
+        ctx.state_add(len(right_rows))
+        try:
+            for left_row in execute(plan.left, ctx):
+                for right_row in right_rows:
+                    yield left_row + right_row
+        finally:
+            ctx.state_remove(len(right_rows))
+        return
+
+    equi, residual = _split_join_condition(plan.condition, left_columns, right_columns)
+    combined = left_columns + right_columns
+    residual_fn = (
+        None if residual == TRUE else compile_expression(residual, combined, ctx.env)
+    )
+    pad = (None,) * len(right_columns)
+    semi_like = plan.kind in (JoinKind.SEMI, JoinKind.ANTI)
+
+    if equi:
+        left_keys = [compile_expression(l, left_columns, ctx.env) for l, _ in equi]
+        right_keys = [compile_expression(r, right_columns, ctx.env) for _, r in equi]
+        table: dict[tuple, list[Row]] = {}
+        build_rows = 0
+        for row in execute(plan.right, ctx):
+            key = tuple(fn(row) for fn in right_keys)
+            if any(k is None for k in key):
+                continue  # NULL keys never join
+            table.setdefault(key, []).append(row)
+            build_rows += 1
+        ctx.state_add(build_rows)
+        try:
+            for left_row in execute(plan.left, ctx):
+                key = tuple(fn(left_row) for fn in left_keys)
+                matched = False
+                if not any(k is None for k in key):
+                    for right_row in table.get(key, ()):
+                        if residual_fn is None or residual_fn(left_row + right_row) is True:
+                            matched = True
+                            if plan.kind is JoinKind.SEMI:
+                                break
+                            if plan.kind in (JoinKind.INNER, JoinKind.LEFT):
+                                yield left_row + right_row
+                if semi_like:
+                    if matched == (plan.kind is JoinKind.SEMI):
+                        yield left_row
+                elif plan.kind is JoinKind.LEFT and not matched:
+                    yield left_row + pad
+        finally:
+            ctx.state_remove(build_rows)
+        return
+
+    # No hashable equi-conjuncts: nested loop against a materialized right.
+    right_rows = list(execute(plan.right, ctx))
+    ctx.state_add(len(right_rows))
+    try:
+        for left_row in execute(plan.left, ctx):
+            matched = False
+            for right_row in right_rows:
+                if residual_fn is None or residual_fn(left_row + right_row) is True:
+                    matched = True
+                    if plan.kind is JoinKind.SEMI:
+                        break
+                    if plan.kind in (JoinKind.INNER, JoinKind.LEFT):
+                        yield left_row + right_row
+            if semi_like:
+                if matched == (plan.kind is JoinKind.SEMI):
+                    yield left_row
+            elif plan.kind is JoinKind.LEFT and not matched:
+                yield left_row + pad
+    finally:
+        ctx.state_remove(len(right_rows))
+
+
+# -- aggregation -------------------------------------------------------------
+
+
+def _run_group_by(plan: GroupBy, ctx: RunContext) -> Iterator[Row]:
+    child_columns = plan.child.output_columns
+    key_fns = [
+        compile_expression(ColumnRef(k), child_columns, ctx.env) for k in plan.keys
+    ]
+    # Fused GroupBys carry many aggregates sharing a few distinct masks
+    # and arguments (§III.E); evaluate each distinct expression once per
+    # row and share the value across aggregates.
+    shared_fns: list = []
+    shared_index: dict[Expression, int] = {}
+
+    def shared(expr: Expression) -> int:
+        slot = shared_index.get(expr)
+        if slot is None:
+            slot = len(shared_fns)
+            shared_index[expr] = slot
+            shared_fns.append(compile_expression(expr, child_columns, ctx.env))
+        return slot
+
+    agg_specs = []
+    for assignment in plan.aggregates:
+        arg_slot = None if assignment.argument is None else shared(assignment.argument)
+        mask_slot = None if assignment.mask == TRUE else shared(assignment.mask)
+        agg_specs.append((assignment.func, assignment.distinct, arg_slot, mask_slot))
+
+    groups: dict[tuple, list[Aggregator]] = {}
+    group_count = 0
+    try:
+        for row in execute(plan.child, ctx):
+            key = tuple(fn(row) for fn in key_fns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [Aggregator(f, d) for f, d, _, _ in agg_specs]
+                groups[key] = accumulators
+                group_count += 1
+                ctx.state_add(1)
+            values = [fn(row) for fn in shared_fns]
+            for acc, (_, _, arg_slot, mask_slot) in zip(accumulators, agg_specs):
+                if mask_slot is not None and values[mask_slot] is not True:
+                    continue
+                if arg_slot is None:
+                    acc.add_count_star()
+                else:
+                    acc.add(values[arg_slot])
+        if plan.is_scalar and not groups:
+            # Global aggregation over empty input still yields one row.
+            accumulators = [Aggregator(f, d) for f, d, _, _ in agg_specs]
+            yield tuple(acc.result() for acc in accumulators)
+            return
+        for key, accumulators in groups.items():
+            yield key + tuple(acc.result() for acc in accumulators)
+    finally:
+        ctx.state_remove(group_count)
+
+
+def _run_mark_distinct(plan: MarkDistinct, ctx: RunContext) -> Iterator[Row]:
+    """Executes a whole chain of MarkDistinct operators in one pass —
+    the paper's §III.F mentions "processing a chain of MarkDistinct
+    operators … holistically rather than one pair at a time"; here that
+    means one tuple build per row instead of one per operator."""
+    chain: list[MarkDistinct] = [plan]
+    cursor = plan.child
+    while isinstance(cursor, MarkDistinct):
+        chain.append(cursor)
+        cursor = cursor.child
+    chain.reverse()  # innermost first, matching output column order
+
+    base_columns = cursor.output_columns
+    col_index = {c.cid: i for i, c in enumerate(base_columns)}
+    specs: list[tuple[list[int], object]] = []
+    schema = tuple(base_columns)
+    for node in chain:
+        try:
+            indexes = [col_index[c.cid] for c in node.columns]
+        except KeyError as exc:
+            raise ExecutionError(
+                f"MarkDistinct references unavailable column: {exc}"
+            ) from None
+        mask_fn = (
+            None
+            if node.mask == TRUE
+            else compile_expression(node.mask, schema, ctx.env)
+        )
+        specs.append((indexes, mask_fn))
+        col_index[node.marker.cid] = len(schema)
+        schema = schema + (node.marker,)
+    seen_sets: list[set] = [set() for _ in chain]
+    added = 0
+    try:
+        for row in execute(cursor, ctx):
+            extended = list(row)
+            for (indexes, mask_fn), seen in zip(specs, seen_sets):
+                if mask_fn is not None and mask_fn(extended) is not True:
+                    extended.append(False)
+                    continue
+                key = tuple(extended[i] for i in indexes)
+                if key in seen:
+                    extended.append(False)
+                else:
+                    seen.add(key)
+                    added += 1
+                    ctx.state_add(1)
+                    extended.append(True)
+            yield tuple(extended)
+    finally:
+        ctx.state_remove(added)
+
+
+def _run_window(plan: Window, ctx: RunContext) -> Iterator[Row]:
+    child_columns = plan.child.output_columns
+    part_indexes = [list(child_columns).index(c) for c in plan.partition_by]
+    arg_fns = [
+        None if f.argument is None else compile_expression(f.argument, child_columns, ctx.env)
+        for f in plan.functions
+    ]
+    rows = list(execute(plan.child, ctx))
+    ctx.state_add(len(rows))
+    try:
+        partitions: dict[tuple, list[Aggregator]] = {}
+        for row in rows:
+            key = tuple(row[i] for i in part_indexes)
+            accumulators = partitions.get(key)
+            if accumulators is None:
+                accumulators = [Aggregator(f.func) for f in plan.functions]
+                partitions[key] = accumulators
+            for acc, arg_fn in zip(accumulators, arg_fns):
+                if arg_fn is None:
+                    acc.add_count_star()
+                else:
+                    acc.add(arg_fn(row))
+        results = {
+            key: tuple(acc.result() for acc in accumulators)
+            for key, accumulators in partitions.items()
+        }
+        for row in rows:
+            key = tuple(row[i] for i in part_indexes)
+            yield row + results[key]
+    finally:
+        ctx.state_remove(len(rows))
+
+
+# -- set operations, sorting, scalar plumbing -------------------------------
+
+
+def _run_union_all(plan: UnionAll, ctx: RunContext) -> Iterator[Row]:
+    for child, branch in zip(plan.inputs, plan.input_columns):
+        child_columns = list(child.output_columns)
+        indexes = [child_columns.index(c) for c in branch]
+        for row in execute(child, ctx):
+            yield tuple(row[i] for i in indexes)
+
+
+def _run_sort(plan: Sort, ctx: RunContext) -> Iterator[Row]:
+    rows = list(execute(plan.child, ctx))
+    ctx.state_add(len(rows))
+    try:
+        child_columns = plan.child.output_columns
+        for key in reversed(plan.keys):
+            fn = compile_expression(key.expression, child_columns, ctx.env)
+
+            def sort_key(row: Row, fn=fn) -> tuple:
+                value = fn(row)
+                # NULLs last ascending / first descending; the 1-tuple
+                # trick avoids comparing None with None.
+                return (1,) if value is None else (0, value)
+
+            rows.sort(key=sort_key, reverse=not key.ascending)
+        yield from rows
+    finally:
+        ctx.state_remove(len(rows))
+
+
+def _run_enforce_single_row(plan: EnforceSingleRow, ctx: RunContext) -> Iterator[Row]:
+    rows = list(islice(execute(plan.child, ctx), 2))
+    if len(rows) > 1:
+        raise ExecutionError("scalar subquery returned more than one row")
+    if rows:
+        yield rows[0]
+    else:
+        yield (None,) * len(plan.output_columns)
+
+
+def _run_scalar_apply(plan: ScalarApply, ctx: RunContext) -> Iterator[Row]:
+    input_columns = plan.input.output_columns
+    value_index = list(plan.subquery.output_columns).index(plan.value)
+    for row in execute(plan.input, ctx):
+        for column, value in zip(input_columns, row):
+            ctx.env[column.cid] = value
+        sub_rows = list(islice(execute(plan.subquery, ctx), 2))
+        if len(sub_rows) > 1:
+            raise ExecutionError("correlated scalar subquery returned more than one row")
+        value = sub_rows[0][value_index] if sub_rows else None
+        yield row + (value,)

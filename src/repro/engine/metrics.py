@@ -1,0 +1,104 @@
+"""Query execution metrics.
+
+These are the paper's experimental axes:
+
+* **wall time** — the latency axis of Figure 1;
+* **bytes scanned** — the data-read axis of Figure 2 and the quantity
+  Athena bills for;
+* **peak operator state** — the memory-pressure proxy behind the §V.C
+  observation that removing a duplicated common expression halves the
+  intermediate state and avoids spilling.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.storage.accounting import ScanAccounting
+
+
+@dataclass
+class QueryMetrics:
+    """Metrics for one query execution."""
+
+    wall_time_s: float = 0.0
+    rows_output: int = 0
+    peak_state_rows: int = 0
+    #: Sum of all rows ever admitted to stateful operators.  In a
+    #: distributed engine that evaluates union branches concurrently
+    #: (the paper's §V.C memory discussion), this is the better proxy
+    #: for resident state than the serial executor's peak.
+    total_state_rows: int = 0
+    #: Rows written into spools (materialized intermediates) and rows
+    #: replayed out of them — the write-then-read-multiple-times cost
+    #: the paper's fusion rewrites avoid.
+    spooled_rows: int = 0
+    spool_read_rows: int = 0
+    accounting: ScanAccounting = field(default_factory=ScanAccounting)
+
+    @property
+    def bytes_scanned(self) -> float:
+        return self.accounting.bytes_scanned
+
+    @property
+    def rows_scanned(self) -> int:
+        return self.accounting.rows_scanned
+
+    @property
+    def partitions_read(self) -> int:
+        return self.accounting.partitions_read
+
+    def summary(self) -> str:
+        return (
+            f"wall={self.wall_time_s*1000:.1f}ms "
+            f"bytes={self.bytes_scanned/1024:.1f}KiB "
+            f"rows_scanned={self.rows_scanned} "
+            f"partitions={self.partitions_read} "
+            f"peak_state={self.peak_state_rows} "
+            f"rows_out={self.rows_output}"
+        )
+
+
+class RunContext:
+    """Shared state for one query execution.
+
+    Holds the store, the scan accounting, the correlation environment
+    for ScalarApply, and the live-state tracker used to compute peak
+    operator memory (in resident rows).
+    """
+
+    def __init__(self, store):
+        self.store = store
+        self.metrics = QueryMetrics()
+        self.env: dict[int, object] = {}
+        self.spool_cache: dict[int, list[tuple]] = {}
+        self._state_rows = 0
+
+    @property
+    def accounting(self) -> ScanAccounting:
+        return self.metrics.accounting
+
+    def state_add(self, rows: int) -> None:
+        self._state_rows += rows
+        self.metrics.total_state_rows += rows
+        if self._state_rows > self.metrics.peak_state_rows:
+            self.metrics.peak_state_rows = self._state_rows
+
+    def state_remove(self, rows: int) -> None:
+        self._state_rows -= rows
+
+
+class Stopwatch:
+    """Context manager measuring wall time into a QueryMetrics."""
+
+    def __init__(self, metrics: QueryMetrics):
+        self.metrics = metrics
+        self._start = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.metrics.wall_time_s = time.perf_counter() - self._start

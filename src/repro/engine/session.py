@@ -1,0 +1,78 @@
+"""Query sessions: the end-to-end entry point.
+
+A :class:`Session` owns a data store, its catalog, and an optimizer
+configuration, and runs SQL end to end — parse, bind, optimize,
+execute — returning rows plus the execution metrics the benchmarks
+report (wall time, bytes scanned, peak operator state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import PlanNode
+from repro.algebra.printer import explain
+from repro.catalog.catalog import Catalog
+from repro.engine.executor import execute
+from repro.engine.metrics import QueryMetrics, RunContext, Stopwatch
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.pipeline import optimize
+from repro.sql.binder import Binder
+from repro.storage.columnar import Store
+
+
+@dataclass
+class QueryResult:
+    """Rows + schema + metrics for one executed query."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    metrics: QueryMetrics
+    logical_plan: PlanNode
+    optimized_plan: PlanNode
+    fired_rules: list[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        return explain(self.optimized_plan)
+
+    def sorted_rows(self) -> list[tuple]:
+        """Rows in a canonical order, for result comparisons."""
+        return sorted(self.rows, key=lambda r: tuple((v is None, str(v)) for v in r))
+
+
+class Session:
+    """A connection-like object bound to one store + configuration."""
+
+    def __init__(self, store: Store, config: OptimizerConfig | None = None):
+        self.store = store
+        self.config = config if config is not None else OptimizerConfig()
+        self.catalog = Catalog()
+        store.load_catalog(self.catalog)
+        self._binder = Binder(self.catalog)
+
+    def plan(self, sql: str) -> tuple[PlanNode, tuple[str, ...]]:
+        """Parse + bind + optimize; returns (plan, output names)."""
+        bound = self._binder.bind_sql(sql)
+        optimized, _ = optimize(bound.plan, self.catalog, self.config)
+        return optimized, bound.column_names
+
+    def execute(self, sql: str) -> QueryResult:
+        """Run a SQL query end to end."""
+        bound = self._binder.bind_sql(sql)
+        optimized, opt_ctx = optimize(bound.plan, self.catalog, self.config)
+        run_ctx = RunContext(self.store)
+        with Stopwatch(run_ctx.metrics):
+            rows = list(execute(optimized, run_ctx))
+        run_ctx.metrics.rows_output = len(rows)
+        return QueryResult(
+            bound.column_names,
+            rows,
+            run_ctx.metrics,
+            bound.plan,
+            optimized,
+            list(opt_ctx.fired),
+        )
+
+    def explain(self, sql: str) -> str:
+        plan, _ = self.plan(sql)
+        return explain(plan)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subclasses distinguish
+the layer that failed (parsing, binding, planning, execution), mirroring
+how a query service reports errors to users.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the (1-based) line and column of the offending token when
+    available so error messages can point at the query text.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = f" at line {line}:{column}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindingError(ReproError):
+    """Name resolution or semantic analysis failed (unknown table/column,
+    ambiguous reference, misplaced aggregate, unsupported construct)."""
+
+
+class CatalogError(ReproError):
+    """A catalog object (table, column) is missing or inconsistent."""
+
+
+class PlanError(ReproError):
+    """An algebraic plan is malformed (e.g. an operator references a
+    column its child does not produce)."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while evaluating a plan (e.g. EnforceSingleRow
+    saw more than one row, or a scalar function received bad input)."""
+
+
+class OptimizerError(ReproError):
+    """An optimizer rule produced an invalid rewrite.
+
+    Rules are supposed to be semantics preserving; this error indicates
+    a bug in a rule rather than in the user's query.
+    """

@@ -1,0 +1,14 @@
+"""Query fusion (paper §III): Fuse(P1, P2) -> (P, M, L, R)."""
+
+from repro.fusion.fuse import Fuser, structural_equivalence
+from repro.fusion.mapping import ColumnMapping
+from repro.fusion.result import FusionResult, reconstruct_left, reconstruct_right
+
+__all__ = [
+    "Fuser",
+    "FusionResult",
+    "ColumnMapping",
+    "structural_equivalence",
+    "reconstruct_left",
+    "reconstruct_right",
+]

@@ -1,0 +1,70 @@
+"""Column mappings — the ``M`` component of fusion results.
+
+``Fuse(P1, P2) = (P, M, L, R)`` maps output columns of the discarded
+plan ``P2`` to output columns of the fused plan ``P``.  Following the
+paper's footnote, we "abuse the notation" and apply ``M`` to whole
+expressions in the natural way (:meth:`ColumnMapping.map_expression`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.algebra.expressions import ColumnRef, Expression, substitute
+from repro.algebra.schema import Column
+
+
+class ColumnMapping:
+    """An immutable-ish map from columns (of P2) to columns (of P).
+
+    Columns absent from the map are mapped to themselves — convenient
+    because fused plans preserve the P1-side column identities.
+    """
+
+    def __init__(self, entries: Mapping[Column, Column] | None = None):
+        self._entries: dict[int, Column] = {}
+        self._sources: dict[int, Column] = {}
+        if entries:
+            for src, dst in entries.items():
+                self.add(src, dst)
+
+    def add(self, source: Column, target: Column) -> None:
+        self._entries[source.cid] = target
+        self._sources[source.cid] = source
+
+    def map_column(self, column: Column) -> Column:
+        return self._entries.get(column.cid, column)
+
+    def map_columns(self, columns: Iterable[Column]) -> tuple[Column, ...]:
+        return tuple(self.map_column(c) for c in columns)
+
+    def map_expression(self, expr: Expression) -> Expression:
+        if not self._entries:
+            return expr
+        substitution = {cid: ColumnRef(col) for cid, col in self._entries.items()}
+        return substitute(expr, substitution)
+
+    def merged(self, other: "ColumnMapping") -> "ColumnMapping":
+        """A new mapping with entries from both (domains must be
+        disjoint, which holds for the left/right sides of a join)."""
+        result = ColumnMapping()
+        result._entries.update(self._entries)
+        result._sources.update(self._sources)
+        for cid, column in other._entries.items():
+            result._entries[cid] = column
+            result._sources[cid] = other._sources[cid]
+        return result
+
+    def items(self) -> Iterator[tuple[Column, Column]]:
+        for cid, target in self._entries.items():
+            yield self._sources[cid], target
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, column: Column) -> bool:
+        return column.cid in self._entries
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{s!r}->{t!r}" for s, t in self.items())
+        return f"ColumnMapping({pairs})"

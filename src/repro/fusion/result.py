@@ -1,0 +1,69 @@
+"""Fusion results and their reconstruction semantics.
+
+``Fuse(P1, P2)`` returns a :class:`FusionResult` ``(P, M, L, R)``:
+
+* ``plan`` (P): the fused plan, whose schema includes all output
+  columns of P1 plus, optionally, extra columns for P2;
+* ``mapping`` (M): maps P2's output columns to columns of P;
+* ``left_filter`` (L) / ``right_filter`` (R): compensating filters over
+  P's output columns that restore P1 / P2:
+
+      P1 = Project[outCols(P1)](Filter[L](P))
+      P2 = Project[M(outCols(P2))](Filter[R](P))
+
+:func:`reconstruct_left` / :func:`reconstruct_right` build those
+compensated plans; the property-based tests execute them against the
+originals to verify every fusion case end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import TRUE, ColumnRef, Expression
+from repro.algebra.operators import Filter, PlanNode, Project
+from repro.algebra.schema import Column, ColumnAllocator
+from repro.fusion.mapping import ColumnMapping
+
+
+@dataclass
+class FusionResult:
+    """The 4-tuple result of a successful fusion."""
+
+    plan: PlanNode
+    mapping: ColumnMapping
+    left_filter: Expression = TRUE
+    right_filter: Expression = TRUE
+
+    @property
+    def is_exact(self) -> bool:
+        """True when no compensating filters are needed (the common
+        CTE case: both inputs are the same subexpression)."""
+        return self.left_filter == TRUE and self.right_filter == TRUE
+
+
+def reconstruct_left(result: FusionResult, original: PlanNode) -> PlanNode:
+    """The compensated plan equivalent to the original left input."""
+    plan = result.plan
+    if result.left_filter != TRUE:
+        plan = Filter(plan, result.left_filter)
+    assignments = tuple((c, ColumnRef(c)) for c in original.output_columns)
+    return Project(plan, assignments)
+
+
+def reconstruct_right(
+    result: FusionResult, original: PlanNode, allocator: ColumnAllocator
+) -> PlanNode:
+    """The compensated plan equivalent to the original right input.
+
+    Output columns are fresh (the originals belong to the discarded
+    plan); they are produced positionally in the original's order.
+    """
+    plan = result.plan
+    if result.right_filter != TRUE:
+        plan = Filter(plan, result.right_filter)
+    assignments = []
+    for column in original.output_columns:
+        mapped = result.mapping.map_column(column)
+        assignments.append((allocator.like(column), ColumnRef(mapped)))
+    return Project(plan, tuple(assignments))

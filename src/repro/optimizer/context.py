@@ -1,0 +1,68 @@
+"""Shared state for one optimization run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.operators import GroupBy, Join, PlanNode, Scan, Window
+from repro.algebra.schema import ColumnAllocator
+from repro.algebra.visitors import walk_plan
+from repro.catalog.catalog import Catalog
+from repro.fusion.fuse import Fuser
+from repro.optimizer.config import OptimizerConfig
+
+
+@dataclass
+class OptimizerContext:
+    """Catalog + allocator + fuser + config, threaded through rules.
+
+    Also records which rules fired (``fired``), which benchmarks use to
+    report per-query rule coverage and tests use for plan-shape
+    assertions.
+    """
+
+    catalog: Catalog
+    config: OptimizerConfig
+    fired: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        from repro.optimizer.stats import CardinalityEstimator
+
+        self.allocator: ColumnAllocator = self.catalog.allocator
+        self.fuser = Fuser(self.allocator)
+        self.estimator = CardinalityEstimator(self.catalog)
+        self._spool_counter = 0
+
+    def record(self, rule_name: str) -> None:
+        self.fired.append(rule_name)
+
+    def next_spool_id(self) -> int:
+        self._spool_counter += 1
+        return self._spool_counter
+
+    # -- cost heuristics (§IV.E) ------------------------------------------
+
+    def estimated_rows(self, plan: PlanNode) -> int:
+        """Statistics-based cardinality estimate (§IV.E's "local
+        heuristics based on statistics and plan properties")."""
+        return int(self.estimator.estimate(plan))
+
+    def scanned_rows(self, plan: PlanNode) -> int:
+        """Total stored-row mass the plan scans (the recompute cost a
+        duplicate elimination saves)."""
+        total = 0
+        for node in walk_plan(plan):
+            if isinstance(node, Scan) and self.catalog.has_table(node.table):
+                total += self.catalog.row_count(node.table)
+        return total
+
+    def worth_fusing(self, common: PlanNode) -> bool:
+        """Is eliminating a duplicate of ``common`` worth the rewrite?
+
+        True when the common expression contains a join/aggregation/
+        window (recomputation is expensive) or scans at least the
+        configured row threshold.
+        """
+        if any(isinstance(n, (Join, GroupBy, Window)) for n in walk_plan(common)):
+            return True
+        return self.scanned_rows(common) >= self.config.fusion_min_rows

@@ -1,0 +1,14 @@
+"""The paper's fusion-based optimization rules (§IV)."""
+
+from repro.optimizer.fusion_rules.groupby_join_to_window import GroupByJoinToWindow
+from repro.optimizer.fusion_rules.join_on_keys import JoinOnKeys
+from repro.optimizer.fusion_rules.union_all import UnionAllFusion, fuse_branches
+from repro.optimizer.fusion_rules.union_all_on_join import UnionAllOnJoin
+
+__all__ = [
+    "GroupByJoinToWindow",
+    "JoinOnKeys",
+    "UnionAllFusion",
+    "UnionAllOnJoin",
+    "fuse_branches",
+]

@@ -1,0 +1,59 @@
+"""Base class for fusion rules that operate on flattened join regions
+(§IV.E: join-based rules run before join reordering, over a conceptual
+n-ary join, attempting pairwise applications)."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.algebra.operators import PlanNode
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.join_graph import (
+    JoinGraph,
+    flatten_join_region,
+    rebuild_join_region,
+)
+from repro.optimizer.rule import PlanPass
+
+
+class JoinGraphRule(PlanPass):
+    """Walks the plan; at each join-region root, flattens the region,
+    recursively processes the inputs (regions nest inside derived
+    tables and semi-join subqueries), then lets the concrete rule
+    transform the n-ary graph."""
+
+    name = "join_graph_rule"
+
+    @abc.abstractmethod
+    def apply(self, graph: JoinGraph, ctx: OptimizerContext) -> bool:
+        """Mutate ``graph``; return True when something changed."""
+
+    def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
+        graph = flatten_join_region(plan)
+        if graph is None:
+            children = plan.children
+            if not children:
+                return plan
+            new_children = tuple(self.run(child, ctx) for child in children)
+            if new_children != children:
+                plan = plan.with_children(new_children)
+            return plan
+
+        inputs_changed = False
+        new_inputs = []
+        for node in graph.inputs:
+            processed = self.run(node, ctx)
+            inputs_changed |= processed is not node
+            new_inputs.append(processed)
+        graph.inputs = new_inputs
+        for semi in graph.semis:
+            processed = self.run(semi.right, ctx)
+            inputs_changed |= processed is not semi.right
+            semi.right = processed
+
+        changed = self.apply(graph, ctx)
+        if changed:
+            ctx.record(self.name)
+        if changed or inputs_changed:
+            return rebuild_join_region(graph, ctx)
+        return plan

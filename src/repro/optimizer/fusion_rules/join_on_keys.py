@@ -1,0 +1,159 @@
+"""JoinOnKeys (§IV.B).
+
+When two join inputs are keyed by their join columns, every left row
+matches at most one right row, so the join merely *extends* rows with
+columns from the other side; if the two sides fuse, the join can be
+replaced by the fused plan plus compensating filters and NOT NULL
+conditions.
+
+Like the paper, we specialize to inputs that are GroupBy operators
+(their grouping columns are keys — key derivation through arbitrary
+plans is not available), in two variants:
+
+* **keyed**: both inputs are GroupBys whose keys are pairwise equated
+  by the join conjuncts (directly or transitively — the §V.D case where
+  both R0 and R2 join to the same fact-table column).  Replacement:
+  ``Filter[L AND R AND keys NOT NULL](Fuse(G1, G2))``.
+* **scalar**: both inputs are scalar aggregates connected by a cross
+  product (§V.B, TPC-DS Q09/Q28/Q88).  Replacement: the fused scalar
+  GroupBy.  Applied pairwise until no two scalar aggregates remain,
+  which collapses Q09's fifteen scans of store_sales into one.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    TRUE,
+    ColumnRef,
+    Expression,
+    IsNull,
+    Not,
+    make_and,
+)
+from repro.algebra.operators import Filter, GroupBy, PlanNode
+from repro.algebra.schema import Column
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.fusion_rules.base import JoinGraphRule
+from repro.optimizer.join_graph import EquivalenceClasses, JoinGraph, peel_renaming
+
+
+class JoinOnKeys(JoinGraphRule):
+    name = "join_on_keys"
+
+    def apply(self, graph: JoinGraph, ctx: OptimizerContext) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            graph.apply_substitution()
+            classes = EquivalenceClasses(graph.conjuncts)
+            count = len(graph.inputs)
+            for i in range(count):
+                for j in range(i + 1, count):
+                    if self._try_pair(graph, i, j, classes, ctx):
+                        progress = True
+                        changed = True
+                        break
+                if progress:
+                    break
+        return changed
+
+    def _try_pair(
+        self,
+        graph: JoinGraph,
+        i: int,
+        j: int,
+        classes: EquivalenceClasses,
+        ctx: OptimizerContext,
+    ) -> bool:
+        left_input, right_input = graph.inputs[i], graph.inputs[j]
+        g1, exposure1 = peel_renaming(left_input)
+        g2, exposure2 = peel_renaming(right_input)
+        if not (isinstance(g1, GroupBy) and isinstance(g2, GroupBy)):
+            return False
+        if g1.is_scalar != g2.is_scalar:
+            return False
+
+        if not g1.is_scalar:
+            if not self._keys_equated(g1, exposure1, g2, exposure2, classes):
+                return False
+
+        result = ctx.fuser.fuse(g1, g2)
+        if result is None:
+            return False
+        if not ctx.worth_fusing(g1.child):
+            return False
+
+        terms: list[Expression] = []
+        if result.left_filter != TRUE:
+            terms.append(result.left_filter)
+        if result.right_filter != TRUE:
+            terms.append(result.right_filter)
+        if not g1.is_scalar:
+            for key in g1.keys:
+                terms.append(Not(IsNull(ColumnRef(key))))
+        replacement: PlanNode = result.plan
+        if terms:
+            replacement = Filter(replacement, make_and(terms))
+
+        substitution: dict[int, Expression] = {}
+        for outer_cid, inner in exposure1.items():
+            if outer_cid != inner.cid:
+                substitution[outer_cid] = ColumnRef(inner)
+        fused_outputs = set(result.plan.output_columns)
+        for column in g2.output_columns:
+            mapped = result.mapping.map_column(column)
+            if mapped.cid != column.cid:
+                substitution[column.cid] = ColumnRef(mapped)
+        for outer_cid, inner in exposure2.items():
+            mapped = result.mapping.map_column(inner)
+            if outer_cid != mapped.cid:
+                substitution[outer_cid] = ColumnRef(mapped)
+        if any(
+            isinstance(expr, ColumnRef) and expr.column not in fused_outputs
+            for expr in substitution.values()
+        ):
+            return False  # defensive: a mapping target escaped the fused plan
+
+        graph.inputs[i] = replacement
+        del graph.inputs[j]
+        graph.add_substitution(substitution)
+        graph.apply_substitution()
+        return True
+
+    @staticmethod
+    def _keys_equated(
+        g1: GroupBy,
+        exposure1: dict[int, Column],
+        g2: GroupBy,
+        exposure2: dict[int, Column],
+        classes: EquivalenceClasses,
+    ) -> bool:
+        """Every key of g1 must be join-equated (possibly transitively)
+        with a distinct key of g2, covering both key sets."""
+
+        def outer_keys(grouped: GroupBy, exposure: dict[int, Column]) -> list[Column] | None:
+            if not exposure:
+                return list(grouped.keys)
+            reverse: dict[int, Column] = {}
+            for outer_cid, inner in exposure.items():
+                reverse.setdefault(inner.cid, Column(outer_cid, inner.name, inner.dtype))
+            out = []
+            for key in grouped.keys:
+                exposed = reverse.get(key.cid)
+                if exposed is None:
+                    return None
+                out.append(exposed)
+            return out
+
+        keys1 = outer_keys(g1, exposure1)
+        keys2 = outer_keys(g2, exposure2)
+        if keys1 is None or keys2 is None or len(keys1) != len(keys2):
+            return False
+        remaining = list(keys2)
+        for key in keys1:
+            match = next((k for k in remaining if classes.connected(key, k)), None)
+            if match is None:
+                return False
+            remaining.remove(match)
+        return True

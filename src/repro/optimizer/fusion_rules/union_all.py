@@ -1,0 +1,157 @@
+"""UnionAll fusion (§IV.D).
+
+Pattern: the branches of a UNION ALL are overlapping views of one
+common expression (different filters / projections over the same CTE).
+The engine would evaluate the common expression once per branch; the
+rewrite reads it once, replicates rows with a constant tag table, and
+compensates per branch::
+
+    Project[out_k := CASE WHEN tag=1 THEN c1k ELSE M(c2k) END, …]
+      Filter[(tag=1 AND L) OR (tag=2 AND R)]
+        CrossJoin
+          P                         -- Fuse of all branches
+          ConstantTable((1),(2)) Temp(tag)
+
+Extensions implemented per the paper: native n-ary fusion of all
+branches (not pairwise), CASE elision when both branches map a column
+to the same fused column, and the contradiction fast path — when the
+compensating filters are provably disjoint (L AND R = FALSE) the tag
+table is unnecessary and the branch of each row is recovered from L
+itself.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    FALSE,
+    TRUE,
+    Case,
+    ColumnRef,
+    Comparison,
+    Expression,
+    integer,
+    make_and,
+    make_or,
+)
+from repro.algebra.operators import (
+    Filter,
+    Join,
+    JoinKind,
+    PlanNode,
+    Project,
+    UnionAll,
+    Values,
+)
+from repro.algebra.simplify import is_contradiction
+from repro.algebra.types import DataType
+from repro.fusion.mapping import ColumnMapping
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.rule import RewriteRule
+
+
+def fuse_branches(
+    branches: list[PlanNode], ctx: OptimizerContext
+) -> tuple[PlanNode, list[ColumnMapping], list[Expression]] | None:
+    """N-ary fusion: fold Fuse over the branch list.
+
+    Returns the fused plan plus, per branch, the column mapping into the
+    fused plan and the compensating filter.  None when any step fails.
+    """
+    plan = branches[0]
+    mappings: list[ColumnMapping] = [ColumnMapping()]
+    filters: list[Expression] = [TRUE]
+    for branch in branches[1:]:
+        result = ctx.fuser.fuse(plan, branch)
+        if result is None:
+            return None
+        plan = result.plan
+        # Earlier branches' compensators were expressed over the old
+        # fused plan, whose columns keep their identity in the new one;
+        # tightening with the new left compensator restores them.
+        filters = [make_and([f, result.left_filter]) for f in filters]
+        mappings.append(result.mapping)
+        filters.append(result.right_filter)
+    return plan, mappings, filters
+
+
+class UnionAllFusion(RewriteRule):
+    name = "union_all_fusion"
+
+    def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
+        if not isinstance(node, UnionAll) or len(node.inputs) < 2:
+            return None
+        fused = fuse_branches(list(node.inputs), ctx)
+        if fused is None:
+            return None
+        plan, mappings, filters = fused
+        if not ctx.worth_fusing(plan):
+            return None
+        if all(f == TRUE for f in filters[1:]) and len(node.inputs) > 1:
+            # Identical branches still need replication — fall through.
+            pass
+
+        branch_columns = [
+            tuple(mapping.map_column(c) for c in branch)
+            for mapping, branch in zip(mappings, node.input_columns)
+        ]
+
+        if len(node.inputs) == 2 and self._disjoint(filters[0], filters[1]):
+            return self._without_tag(node, plan, branch_columns, filters, ctx)
+        return self._with_tag(node, plan, branch_columns, filters, ctx)
+
+    @staticmethod
+    def _disjoint(left: Expression, right: Expression) -> bool:
+        return is_contradiction(make_and([left, right]))
+
+    def _with_tag(
+        self,
+        node: UnionAll,
+        plan: PlanNode,
+        branch_columns: list[tuple],
+        filters: list[Expression],
+        ctx: OptimizerContext,
+    ) -> PlanNode:
+        tag = ctx.allocator.fresh("tag", DataType.INTEGER)
+        constant = Values((tag,), tuple((i + 1,) for i in range(len(filters))))
+        crossed = Join(JoinKind.CROSS, plan, constant)
+        dispatch = make_or(
+            make_and([Comparison("=", ColumnRef(tag), integer(i + 1)), f])
+            for i, f in enumerate(filters)
+        )
+        filtered = Filter(crossed, dispatch)
+        assignments = []
+        for position, output in enumerate(node.columns):
+            sources = [branch[position] for branch in branch_columns]
+            if all(s == sources[0] for s in sources):
+                assignments.append((output, ColumnRef(sources[0])))
+                continue
+            whens = tuple(
+                (
+                    Comparison("=", ColumnRef(tag), integer(i + 1)),
+                    ColumnRef(source),
+                )
+                for i, source in enumerate(sources[:-1])
+            )
+            assignments.append((output, Case(whens, ColumnRef(sources[-1]))))
+        return Project(filtered, tuple(assignments))
+
+    def _without_tag(
+        self,
+        node: UnionAll,
+        plan: PlanNode,
+        branch_columns: list[tuple],
+        filters: list[Expression],
+        ctx: OptimizerContext,
+    ) -> PlanNode:
+        """Contradiction fast path: each fused row belongs to at most
+        one branch, so no replication is needed."""
+        filtered = Filter(plan, make_or(filters))
+        assignments = []
+        for position, output in enumerate(node.columns):
+            first, second = (branch[position] for branch in branch_columns)
+            if first == second:
+                assignments.append((output, ColumnRef(first)))
+            else:
+                case = Case(((filters[0], ColumnRef(first)),), ColumnRef(second))
+                assignments.append((output, case))
+        return Project(filtered, tuple(assignments))

@@ -1,0 +1,391 @@
+"""UnionAllOnJoin (§IV.C).
+
+Pattern: a UNION ALL combines two computations that are structurally
+the same join except for one (or more) differing inputs — the paper's
+motivating case unions "some analytical insight applied over different
+fact tables" (TPC-DS Q23: catalog_sales vs web_sales, each joined to
+date_dim and semi-joined against the expensive ``freq_items`` and
+``best_customer`` CTEs).
+
+Rewrite: push the UNION ALL below the joins.  Each branch's differing
+inputs are projected onto a set of unified *slots* (the paper's
+``UA1``/``UA2`` extra-column machinery), unioned, and the shared
+inputs/semi-joins are applied once above::
+
+    SemiJoin[slot IN fused Z]            -- each fused semi, once
+      Join[slot = d_date_sk]             -- each fused common input, once
+        UnionAll
+          Project[slots over branch-1 solo inputs]
+          Project[slots over branch-2 solo inputs]
+        date_dim
+
+The implementation works over flattened join regions and matches:
+
+* **common inputs** — pairs that fuse exactly across branches;
+* **solo inputs** — the per-branch remainder (the differing tables);
+* **conjuncts** — shared ones must match modulo the mapping; mixed
+  solo/common equalities unify into slots; solo-only predicates stay
+  inside the branch;
+* **semi/anti joins** — right sides must fuse exactly; probe
+  expressions unify into slots.
+
+N-ary UNION ALLs are handled by fusing branch pairs repeatedly, as the
+paper suggests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import (
+    ColumnRef,
+    Expression,
+    Literal,
+    columns_in,
+    normalize,
+    substitute,
+)
+from repro.algebra.operators import PlanNode, Project, UnionAll
+from repro.algebra.schema import Column
+from repro.fusion.mapping import ColumnMapping
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.join_graph import (
+    JoinGraph,
+    SemiEntry,
+    flatten_join_region,
+    rebuild_join_region,
+)
+from repro.optimizer.rule import RewriteRule
+
+
+@dataclass
+class _Branch:
+    """One UNION ALL branch, decomposed."""
+
+    graph: JoinGraph
+    #: Output expressions, positionally aligned with the union schema,
+    #: over the region's (inputs') columns.
+    outputs: list[Expression]
+
+
+def _decompose(plan: PlanNode, columns: tuple[Column, ...]) -> _Branch | None:
+    assignments: dict[int, Expression] = {}
+    core = plan
+    if isinstance(plan, Project):
+        assignments = {t.cid: e for t, e in plan.assignments}
+        core = plan.child
+    graph = flatten_join_region(core)
+    if graph is None:
+        return None
+    graph.apply_substitution()
+    outputs = []
+    for column in columns:
+        expr = assignments.get(column.cid, ColumnRef(column))
+        expr = substitute(expr, graph.substitution)
+        outputs.append(expr)
+    return _Branch(graph, outputs)
+
+
+def _unify(
+    e1: Expression,
+    e2: Expression,
+    solo1: set[Column],
+    solo2: set[Column],
+    pairs: list[tuple[Expression, Expression]],
+) -> bool:
+    """Structurally unify two expressions: identical except that where
+    ``e1`` references solo-branch-1 columns, ``e2`` references
+    solo-branch-2 columns — those positions become slot pairs."""
+    if isinstance(e1, ColumnRef) and isinstance(e2, ColumnRef):
+        if e1.column == e2.column:
+            return True
+        if e1.column in solo1 and e2.column in solo2:
+            if e1.column.dtype is not e2.column.dtype:
+                return False
+            pairs.append((e1, e2))
+            return True
+        return False
+    if type(e1) is not type(e2):
+        return False
+    if isinstance(e1, Literal):
+        return e1 == e2
+    children1, children2 = e1.children, e2.children
+    if len(children1) != len(children2):
+        return False
+    if not all(
+        _unify(c1, c2, solo1, solo2, pairs) for c1, c2 in zip(children1, children2)
+    ):
+        return False
+    # Non-child payload (operator symbols, function names, …) must match.
+    probe1 = e1.with_children(tuple(children2))
+    return probe1 == e2
+
+
+class UnionAllOnJoin(RewriteRule):
+    name = "union_all_on_join"
+
+    def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
+        if not isinstance(node, UnionAll) or len(node.inputs) < 2:
+            return None
+        for i in range(len(node.inputs)):
+            for j in range(i + 1, len(node.inputs)):
+                fused = self._fuse_pair(
+                    node.inputs[i],
+                    node.input_columns[i],
+                    node.inputs[j],
+                    node.input_columns[j],
+                    ctx,
+                )
+                if fused is None:
+                    continue
+                plan, out_cols = fused
+                if len(node.inputs) == 2:
+                    # Full replacement: restore the union's own columns.
+                    assignments = tuple(
+                        (target, ColumnRef(src))
+                        for target, src in zip(node.columns, out_cols)
+                    )
+                    return Project(plan, assignments)
+                inputs = [
+                    p for k, p in enumerate(node.inputs) if k not in (i, j)
+                ]
+                branches = [
+                    b for k, b in enumerate(node.input_columns) if k not in (i, j)
+                ]
+                inputs.insert(i, plan)
+                branches.insert(i, out_cols)
+                return UnionAll(tuple(inputs), node.columns, tuple(branches))
+        return None
+
+    def _fuse_pair(
+        self,
+        plan1: PlanNode,
+        cols1: tuple[Column, ...],
+        plan2: PlanNode,
+        cols2: tuple[Column, ...],
+        ctx: OptimizerContext,
+    ) -> tuple[PlanNode, tuple[Column, ...]] | None:
+        b1 = _decompose(plan1, cols1)
+        b2 = _decompose(plan2, cols2)
+        if b1 is None or b2 is None:
+            return None
+        g1, g2 = b1.graph, b2.graph
+
+        # --- match common inputs across the branches ----------------------
+        used2: set[int] = set()
+        common: list[tuple[int, int, object]] = []
+        solo1_idx: list[int] = []
+        for i1, input1 in enumerate(g1.inputs):
+            hit = None
+            for i2, input2 in enumerate(g2.inputs):
+                if i2 in used2:
+                    continue
+                result = ctx.fuser.fuse(input1, input2)
+                if result is not None and result.is_exact:
+                    hit = (i2, result)
+                    break
+            if hit is None:
+                solo1_idx.append(i1)
+            else:
+                used2.add(hit[0])
+                common.append((i1, hit[0], hit[1]))
+        solo2_idx = [i for i in range(len(g2.inputs)) if i not in used2]
+        if not solo1_idx or not solo2_idx:
+            return None  # identical join trees: the generic UnionAll rule's job
+
+        shared_worth = any(ctx.worth_fusing(g1.inputs[i1]) for i1, _, _ in common)
+
+        mapping = ColumnMapping()
+        for _, _, result in common:
+            mapping = mapping.merged(result.mapping)
+
+        # --- pair up semi/anti joins -------------------------------------
+        if len(g1.semis) != len(g2.semis):
+            return None
+        semi_pairs: list[tuple[SemiEntry, SemiEntry, object]] = []
+        remaining = list(range(len(g2.semis)))
+        for semi1 in g1.semis:
+            hit = None
+            for k in remaining:
+                semi2 = g2.semis[k]
+                if semi1.kind is not semi2.kind:
+                    continue
+                result = ctx.fuser.fuse(semi1.right, semi2.right)
+                if result is not None and result.is_exact:
+                    hit = (k, result)
+                    break
+            if hit is None:
+                return None
+            remaining.remove(hit[0])
+            semi_pairs.append((semi1, g2.semis[hit[0]], hit[1]))
+            shared_worth = shared_worth or ctx.worth_fusing(semi1.right)
+        if not shared_worth:
+            return None
+
+        solo1_cols = {
+            c for i in solo1_idx for c in g1.inputs[i].output_columns
+        }
+        solo2_cols = {
+            c for i in solo2_idx for c in g2.inputs[i].output_columns
+        }
+        sub2 = {src.cid: ColumnRef(dst) for src, dst in mapping.items()}
+
+        # --- classify conjuncts ------------------------------------------
+        shared_conjuncts: list[tuple[Expression, list]] = []
+        branch1_filters: list[Expression] = []
+        branch2_filters: list[Expression] = []
+        pending2 = list(g2.conjuncts)
+        for term1 in g1.conjuncts:
+            refs = columns_in(term1)
+            if refs <= solo1_cols:
+                branch1_filters.append(term1)
+                continue
+            matched = None
+            for term2 in pending2:
+                trial: list[tuple[Expression, Expression]] = []
+                if _unify(
+                    term1, substitute(term2, sub2), solo1_cols, solo2_cols, trial
+                ):
+                    matched = (term2, trial)
+                    break
+            if matched is None:
+                return None
+            pending2.remove(matched[0])
+            shared_conjuncts.append((term1, matched[1]))
+        for term2 in pending2:
+            if columns_in(substitute(term2, sub2)) <= solo2_cols:
+                branch2_filters.append(term2)
+            else:
+                return None
+
+        # --- semi conditions ----------------------------------------------
+        shared_semis: list[tuple[SemiEntry, Expression, list]] = []
+        for semi1, semi2, result in semi_pairs:
+            right_sub = {
+                src.cid: ColumnRef(dst) for src, dst in result.mapping.items()
+            }
+            cond2 = substitute(substitute(semi2.condition, right_sub), sub2)
+            trial: list[tuple[Expression, Expression]] = []
+            if not _unify(semi1.condition, cond2, solo1_cols, solo2_cols, trial):
+                return None
+            # The fused right plan (a schema superset of semi1's right,
+            # carrying any columns branch 2's condition mapped onto).
+            fused_right = result.plan
+            shared_semis.append(
+                (SemiEntry(semi1.kind, fused_right, semi1.condition), semi1.condition, trial)
+            )
+
+        # --- output expressions ------------------------------------------
+        output_plan: list[tuple[str, object]] = []
+        for e1, e2 in zip(b1.outputs, b2.outputs):
+            e2_mapped = substitute(e2, sub2)
+            refs1 = columns_in(e1)
+            if normalize(e1) == normalize(e2_mapped) and not (refs1 & solo1_cols):
+                output_plan.append(("shared", e1))
+                continue
+            trial = []
+            if _unify(e1, e2_mapped, solo1_cols, solo2_cols, trial):
+                # Output realized via slots (often the whole expression).
+                output_plan.append(("slots", (e1, trial)))
+                continue
+            return None
+
+        # --- deduplicate slots and allocate columns ------------------------
+        slots: list[tuple[Expression, Expression]] = []
+        for _, pairs in shared_conjuncts:
+            slots.extend(pairs)
+        for _, _, pairs in shared_semis:
+            slots.extend(pairs)
+        for kind, payload in output_plan:
+            if kind == "slots":
+                slots.extend(payload[1])
+        unique: list[tuple[Expression, Expression]] = []
+        index: dict[tuple, int] = {}
+        for e1, e2 in slots:
+            key = (normalize(e1), normalize(e2))
+            if key not in index:
+                index[key] = len(unique)
+                unique.append((e1, e2))
+
+        targets1 = [
+            ctx.allocator.fresh(f"slot{k}", e1.dtype) for k, (e1, _) in enumerate(unique)
+        ]
+        targets2 = [
+            ctx.allocator.fresh(f"slot{k}", e2.dtype) for k, (_, e2) in enumerate(unique)
+        ]
+        union_cols = tuple(
+            ctx.allocator.fresh(f"u_slot{k}", e1.dtype)
+            for k, (e1, _) in enumerate(unique)
+        )
+
+        def slot_for(e1: Expression, e2: Expression) -> Column:
+            return union_cols[index[(normalize(e1), normalize(e2))]]
+
+        def apply_slots(expr: Expression, pairs: list) -> Expression:
+            # Replace each unified solo sub-expression with its slot.
+            replaced = expr
+            for e1, e2 in pairs:
+                slot = ColumnRef(slot_for(e1, e2))
+
+                def swap(node: Expression, target=e1, slot=slot) -> Expression:
+                    return slot if node == target else node
+
+                from repro.algebra.expressions import transform
+
+                replaced = transform(replaced, swap)
+            return replaced
+
+        # --- build the pushed-down union -----------------------------------
+        core1 = self._branch_core(
+            g1, solo1_idx, branch1_filters, unique, targets1, side=0, ctx=ctx
+        )
+        core2 = self._branch_core(
+            g2, solo2_idx, branch2_filters, unique, targets2, side=1, ctx=ctx
+        )
+        union = UnionAll(
+            (core1, core2), union_cols, (tuple(targets1), tuple(targets2))
+        )
+
+        # --- re-assemble shared joins and semis -----------------------------
+        conjuncts = [apply_slots(t, pairs) for t, pairs in shared_conjuncts]
+        semis = [
+            SemiEntry(entry.kind, entry.right, apply_slots(cond, pairs))
+            for entry, cond, pairs in shared_semis
+        ]
+        out_cols = []
+        assignments = []
+        for kind, payload in output_plan:
+            if kind == "shared":
+                expr = payload
+            else:
+                expr, pairs = payload
+                expr = apply_slots(expr, pairs)
+            target = ctx.allocator.fresh("u_out", expr.dtype)
+            out_cols.append(target)
+            assignments.append((target, expr))
+
+        # Use the fused plans for the shared inputs: schema supersets of
+        # branch 1's originals, carrying any columns the branch-2 side
+        # mapped onto.
+        inputs = [union] + [result.plan for _, _, result in common]
+        graph = JoinGraph(inputs, conjuncts, semis, tuple())
+        joined = rebuild_join_region(graph, ctx, project_outputs=False)
+        return Project(joined, tuple(assignments)), tuple(out_cols)
+
+    def _branch_core(
+        self,
+        graph: JoinGraph,
+        solo_idx: list[int],
+        filters: list[Expression],
+        slots: list[tuple[Expression, Expression]],
+        targets: list[Column],
+        side: int,
+        ctx: OptimizerContext,
+    ) -> PlanNode:
+        inputs = [graph.inputs[i] for i in solo_idx]
+        sub_graph = JoinGraph(inputs, list(filters), [], tuple())
+        joined = rebuild_join_region(sub_graph, ctx, project_outputs=False)
+        assignments = tuple(
+            (target, pair[side]) for target, pair in zip(targets, slots)
+        )
+        return Project(joined, assignments)

@@ -1,0 +1,285 @@
+"""Flattened join regions — the §IV.E n-ary machinery.
+
+The paper extends its join-based rules (GroupByJoinToWindow,
+JoinOnKeys) to run before join reordering: "after they match a root
+join operator, we (i) recursively traverse its inputs to conceptually
+obtain an n-ary join, and (ii) attempt to apply rules pairwise to
+specific join inputs (and intermediate rule results) a quadratic number
+of times."
+
+:class:`JoinGraph` is that conceptual n-ary join: a bag of input plans,
+a pool of conjuncts (from inner-join conditions and interposed
+filters), and the semi/anti joins encountered.  Rules mutate the graph
+(fuse two inputs into one, substitute columns, consume conjuncts) and
+:func:`rebuild` re-emits a left-deep operator tree whose output columns
+are exactly the original region's (via an identity-preserving
+compatibility projection), so the surrounding plan is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import (
+    TRUE,
+    ColumnRef,
+    Comparison,
+    Expression,
+    IsNull,
+    Not,
+    columns_in,
+    conjuncts,
+    make_and,
+    substitute,
+)
+from repro.algebra.operators import (
+    Filter,
+    Join,
+    JoinKind,
+    PlanNode,
+    Project,
+)
+from repro.algebra.schema import Column
+from repro.optimizer.context import OptimizerContext
+
+
+@dataclass
+class SemiEntry:
+    """A semi or anti join hoisted out of the region."""
+
+    kind: JoinKind
+    right: PlanNode
+    condition: Expression
+
+
+@dataclass
+class JoinGraph:
+    """A flattened inner-join region."""
+
+    inputs: list[PlanNode]
+    conjuncts: list[Expression]
+    semis: list[SemiEntry]
+    #: The region's original output columns (parents reference these).
+    output_columns: tuple[Column, ...]
+    #: Replacements for columns of fused-away inputs, applied at rebuild.
+    substitution: dict[int, Expression] = field(default_factory=dict)
+
+    def add_substitution(self, entries: dict[int, Expression]) -> None:
+        """Merge new replacement entries, composing existing ones
+        through them (so chains like t→a, a→b resolve to t→b)."""
+        if not entries:
+            return
+        for cid, expr in list(self.substitution.items()):
+            self.substitution[cid] = substitute(expr, entries)
+        for cid, expr in entries.items():
+            self.substitution.setdefault(cid, expr)
+
+    def apply_substitution(self) -> None:
+        """Rewrite conjuncts and semi conditions through the current
+        substitution, dropping tautologies introduced by fusion
+        (``c = c`` becomes ``c IS NOT NULL``)."""
+        if not self.substitution:
+            return
+        new_conjuncts: list[Expression] = []
+        for term in self.conjuncts:
+            term = substitute(term, self.substitution)
+            term = _self_equality_to_not_null(term)
+            if term != TRUE and term not in new_conjuncts:
+                new_conjuncts.append(term)
+        self.conjuncts = new_conjuncts
+        for semi in self.semis:
+            semi.condition = substitute(semi.condition, self.substitution)
+
+
+def _self_equality_to_not_null(term: Expression) -> Expression:
+    if (
+        isinstance(term, Comparison)
+        and term.op == "="
+        and isinstance(term.left, ColumnRef)
+        and isinstance(term.right, ColumnRef)
+        and term.left.column == term.right.column
+    ):
+        return Not(IsNull(term.left))
+    return term
+
+
+def flatten_join_region(plan: PlanNode) -> JoinGraph | None:
+    """Flatten a tree of inner/cross joins, filters, semi/anti joins,
+    and pure-renaming projections rooted at ``plan``.  Returns None
+    when the root is not a join region (no join found on the spine).
+
+    Renaming projections on the spine are absorbed into the graph's
+    substitution (the rebuild's compatibility projection restores
+    them), so patterns like §V.D's distinct-join inputs sit at the same
+    n-ary level even when the binder wrapped them in projections.
+    """
+    inputs: list[PlanNode] = []
+    pool: list[Expression] = []
+    semis: list[SemiEntry] = []
+    layers: list[dict[int, Expression]] = []
+    saw_join = False
+
+    def walk(node: PlanNode) -> None:
+        nonlocal saw_join
+        if isinstance(node, Filter):
+            pool.extend(conjuncts(node.condition))
+            walk(node.child)
+            return
+        if isinstance(node, Project) and all(
+            isinstance(expr, ColumnRef) for _, expr in node.assignments
+        ):
+            layer = {
+                target.cid: expr
+                for target, expr in node.assignments
+                if isinstance(expr, ColumnRef) and target != expr.column
+            }
+            if layer:
+                layers.append(layer)
+            walk(node.child)
+            return
+        if isinstance(node, Join):
+            if node.kind in (JoinKind.INNER, JoinKind.CROSS):
+                saw_join = True
+                pool.extend(conjuncts(node.condition))
+                walk(node.left)
+                walk(node.right)
+                return
+            if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
+                saw_join = True
+                semis.append(SemiEntry(node.kind, node.right, node.condition or TRUE))
+                walk(node.left)
+                return
+            # LEFT joins do not commute with the region: opaque input.
+        inputs.append(node)
+
+    walk(plan)
+    if not saw_join:
+        return None
+    graph = JoinGraph(inputs, pool, semis, plan.output_columns)
+    for layer in layers:  # outer layers first; add_substitution composes
+        graph.add_substitution(layer)
+    return graph
+
+
+def rebuild_join_region(
+    graph: JoinGraph, ctx: OptimizerContext, project_outputs: bool = True
+) -> PlanNode:
+    """Re-emit the region as a left-deep join tree.
+
+    Conjuncts attach at the lowest join where all referenced columns
+    are available; leftovers become a top filter.  Semi/anti joins are
+    re-applied above the joins.  A final projection restores the
+    region's original output columns (identity-preserving, applying the
+    substitution for fused-away columns); pass ``project_outputs=False``
+    to get the raw join tree with its natural schema.
+    """
+    graph.apply_substitution()
+    if not graph.inputs:
+        raise ValueError("join region has no inputs")
+
+    pending = list(graph.conjuncts)
+    plan = graph.inputs[0]
+    available = set(plan.output_columns)
+
+    def take_covered() -> list[Expression]:
+        nonlocal pending
+        taken = [c for c in pending if columns_in(c) <= available]
+        pending = [c for c in pending if c not in taken]
+        return taken
+
+    # Conjuncts fully covered by the first input become a filter on it.
+    first = take_covered()
+    if first:
+        plan = Filter(plan, make_and(first))
+
+    for nxt in graph.inputs[1:]:
+        available |= set(nxt.output_columns)
+        condition = take_covered()
+        if condition:
+            plan = Join(JoinKind.INNER, plan, nxt, make_and(condition))
+        else:
+            plan = Join(JoinKind.CROSS, plan, nxt)
+
+    for semi in graph.semis:
+        plan = Join(semi.kind, plan, semi.right, semi.condition)
+
+    if pending:
+        plan = Filter(plan, make_and(pending))
+
+    if not project_outputs:
+        return plan
+
+    # Compatibility projection: same output column identities as before.
+    assignments = []
+    identity = True
+    for column in graph.output_columns:
+        expr = graph.substitution.get(column.cid)
+        if expr is None:
+            expr = ColumnRef(column)
+        if not (isinstance(expr, ColumnRef) and expr.column == column):
+            identity = False
+        assignments.append((column, expr))
+    if identity and tuple(plan.output_columns) == graph.output_columns:
+        return plan
+    return Project(plan, tuple(assignments))
+
+
+def peel_renaming(plan: PlanNode) -> tuple[PlanNode, dict[int, Column]]:
+    """Strip pure column-renaming projections, returning the inner plan
+    and a map from outer (peeled target) column ids to inner columns.
+
+    Fusion rules use this to see the paper's patterns through the
+    projections the binder interposes (§IV.E: "there could be a Project
+    operator in between the Join and GroupBy").
+    """
+    exposure: dict[int, Column] = {}
+    while isinstance(plan, Project) and all(
+        isinstance(expr, ColumnRef) for _, expr in plan.assignments
+    ):
+        layer = {
+            target.cid: expr.column
+            for target, expr in plan.assignments
+            if isinstance(expr, ColumnRef)
+        }
+        if exposure:
+            exposure = {
+                outer: layer.get(inner.cid, inner) for outer, inner in exposure.items()
+            }
+        else:
+            exposure = dict(layer)
+        # Newly exposed columns of this layer (identity targets).
+        for target_cid, inner in layer.items():
+            exposure.setdefault(target_cid, inner)
+        plan = plan.child
+    return plan, exposure
+
+
+class EquivalenceClasses:
+    """Union-find over columns connected by equality conjuncts."""
+
+    def __init__(self, terms: list[Expression]):
+        self._parent: dict[int, int] = {}
+        for term in terms:
+            if (
+                isinstance(term, Comparison)
+                and term.op == "="
+                and isinstance(term.left, ColumnRef)
+                and isinstance(term.right, ColumnRef)
+            ):
+                self.union(term.left.column, term.right.column)
+
+    def _find(self, cid: int) -> int:
+        parent = self._parent.setdefault(cid, cid)
+        if parent != cid:
+            root = self._find(parent)
+            self._parent[cid] = root
+            return root
+        return cid
+
+    def union(self, a: Column, b: Column) -> None:
+        ra, rb = self._find(a.cid), self._find(b.cid)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def connected(self, a: Column, b: Column) -> bool:
+        return self._find(a.cid) == self._find(b.cid)

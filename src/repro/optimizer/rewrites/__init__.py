@@ -1,0 +1,36 @@
+"""Classical rewrite rules (the engine's baseline rule set)."""
+
+from repro.optimizer.rewrites.distinct import LowerDistinctAggregates
+from repro.optimizer.rewrites.join_order import GreedyJoinOrder
+from repro.optimizer.rewrites.masks import FactorAggregateMasks
+from repro.optimizer.rewrites.pruning import ProjectionPruning
+from repro.optimizer.rewrites.pushdown import PredicatePushdown
+from repro.optimizer.rewrites.semijoin import DistinctPushdown, SemiJoinToDistinctJoin
+from repro.optimizer.rewrites.spool import SpoolDuplicateSubtrees
+from repro.optimizer.rewrites.simplify import (
+    MergeProjections,
+    PruneUnionBranches,
+    RemoveTrivialFilters,
+    SimplifyExpressions,
+)
+from repro.optimizer.rewrites.subqueries import (
+    DecorrelateScalarAggregates,
+    RemoveScalarSubqueries,
+)
+
+__all__ = [
+    "SimplifyExpressions",
+    "RemoveTrivialFilters",
+    "MergeProjections",
+    "PruneUnionBranches",
+    "PredicatePushdown",
+    "ProjectionPruning",
+    "RemoveScalarSubqueries",
+    "DecorrelateScalarAggregates",
+    "LowerDistinctAggregates",
+    "SemiJoinToDistinctJoin",
+    "DistinctPushdown",
+    "FactorAggregateMasks",
+    "SpoolDuplicateSubtrees",
+    "GreedyJoinOrder",
+]

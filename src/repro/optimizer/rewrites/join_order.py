@@ -1,0 +1,88 @@
+"""Greedy join ordering.
+
+The paper's §IV.E: "Athena performs join reordering, and in fact, the
+specific order of inputs in a join … influences whether rules based on
+query fusion can be applied. … we extend join-based rules so that they
+operate before join reordering."  This pass is that reordering stage:
+it runs *after* the fusion rules in both pipelines, so the fusion
+patterns match on the canonical (author-written) order and execution
+still benefits from a sensible join order.
+
+Heuristic, matched to the executor's hash joins (left side streams,
+right side builds a hash table): start the left-deep chain from the
+largest estimated input, then repeatedly attach the smallest input that
+is connected to the chain by an equality conjunct; disconnected inputs
+(cross products) go last.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import columns_in
+from repro.algebra.operators import PlanNode
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.join_graph import (
+    JoinGraph,
+    flatten_join_region,
+    rebuild_join_region,
+)
+from repro.optimizer.rule import PlanPass
+
+
+class GreedyJoinOrder(PlanPass):
+    name = "greedy_join_order"
+
+    def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
+        graph = flatten_join_region(plan)
+        if graph is None:
+            children = plan.children
+            if not children:
+                return plan
+            new_children = tuple(self.run(child, ctx) for child in children)
+            if new_children != children:
+                plan = plan.with_children(new_children)
+            return plan
+
+        graph.inputs = [self.run(node, ctx) for node in graph.inputs]
+        for semi in graph.semis:
+            semi.right = self.run(semi.right, ctx)
+        if len(graph.inputs) >= 2:
+            graph.inputs = self._order(graph, ctx)
+        return rebuild_join_region(graph, ctx)
+
+    def _order(self, graph: JoinGraph, ctx: OptimizerContext) -> list[PlanNode]:
+        graph.apply_substitution()
+        sizes = {id(node): ctx.estimated_rows(node) for node in graph.inputs}
+        column_owner: dict[int, int] = {}
+        for node in graph.inputs:
+            for column in node.output_columns:
+                column_owner[column.cid] = id(node)
+
+        # Adjacency between inputs through shared conjuncts.
+        edges: dict[int, set[int]] = {id(n): set() for n in graph.inputs}
+        for term in graph.conjuncts:
+            owners = {
+                column_owner[c.cid]
+                for c in columns_in(term)
+                if c.cid in column_owner
+            }
+            for a in owners:
+                for b in owners:
+                    if a != b:
+                        edges[a].add(b)
+
+        remaining = list(graph.inputs)
+        remaining.sort(key=lambda n: (-sizes[id(n)],))
+        chain = [remaining.pop(0)]
+        connected = set(edges[id(chain[0])])
+        while remaining:
+            candidates = [n for n in remaining if id(n) in connected]
+            if candidates:
+                nxt = min(candidates, key=lambda n: sizes[id(n)])
+            else:
+                # No connected input: keep original relative order among
+                # the disconnected remainder (stable cross products).
+                nxt = remaining[0]
+            remaining.remove(nxt)
+            chain.append(nxt)
+            connected |= edges[id(nxt)]
+        return chain

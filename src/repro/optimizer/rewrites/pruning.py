@@ -1,0 +1,162 @@
+"""Projection pruning.
+
+Top-down pass computing the columns each operator must produce and
+trimming everything else: scan column lists (this is what makes the
+bytes-scanned accounting honest — unreferenced columns are never read),
+projection assignments, aggregate lists, window functions, MarkDistinct
+markers, UnionAll positions, and ScalarApply nodes whose output is
+dead.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import columns_in
+from repro.algebra.operators import (
+    EnforceSingleRow,
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    Limit,
+    MarkDistinct,
+    PlanNode,
+    Project,
+    ScalarApply,
+    Scan,
+    Sort,
+    UnionAll,
+    Values,
+    Window,
+)
+from repro.algebra.schema import Column
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.rule import PlanPass
+
+
+class ProjectionPruning(PlanPass):
+    name = "projection_pruning"
+
+    def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
+        return self._prune(plan, set(plan.output_columns))
+
+    def _prune(self, plan: PlanNode, needed: set[Column]) -> PlanNode:
+        if isinstance(plan, Scan):
+            keep = set(needed)
+            if plan.predicate is not None:
+                keep |= columns_in(plan.predicate)
+            pairs = [
+                (col, src)
+                for col, src in zip(plan.columns, plan.source_names)
+                if col in keep
+            ]
+            if len(pairs) == len(plan.columns):
+                return plan
+            return Scan(
+                plan.table,
+                tuple(col for col, _ in pairs),
+                tuple(src for _, src in pairs),
+                plan.predicate,
+            )
+
+        if isinstance(plan, Values):
+            return plan
+
+        if isinstance(plan, Filter):
+            child = self._prune(plan.child, needed | columns_in(plan.condition))
+            return Filter(child, plan.condition)
+
+        if isinstance(plan, Project):
+            kept = tuple(
+                (target, expr) for target, expr in plan.assignments if target in needed
+            )
+            child_needed: set[Column] = set()
+            for _, expr in kept:
+                child_needed |= columns_in(expr)
+            child = self._prune(plan.child, child_needed)
+            return Project(child, kept)
+
+        if isinstance(plan, Join):
+            cond_cols = columns_in(plan.condition) if plan.condition is not None else set()
+            left_cols = set(plan.left.output_columns)
+            right_cols = set(plan.right.output_columns)
+            left_needed = (needed | cond_cols) & left_cols
+            right_needed = cond_cols & right_cols
+            if plan.kind not in (JoinKind.SEMI, JoinKind.ANTI):
+                right_needed |= needed & right_cols
+            left = self._prune(plan.left, left_needed)
+            right = self._prune(plan.right, right_needed)
+            return Join(plan.kind, left, right, plan.condition)
+
+        if isinstance(plan, GroupBy):
+            kept = tuple(a for a in plan.aggregates if a.target in needed)
+            child_needed = set(plan.keys)
+            for a in kept:
+                if a.argument is not None:
+                    child_needed |= columns_in(a.argument)
+                child_needed |= columns_in(a.mask)
+            child = self._prune(plan.child, child_needed)
+            return GroupBy(child, plan.keys, kept)
+
+        if isinstance(plan, MarkDistinct):
+            if plan.marker not in needed:
+                return self._prune(plan.child, needed)
+            child_needed = (needed - {plan.marker}) | set(plan.columns)
+            child_needed |= columns_in(plan.mask)
+            child = self._prune(plan.child, child_needed)
+            return MarkDistinct(child, plan.columns, plan.marker, plan.mask)
+
+        if isinstance(plan, Window):
+            kept = tuple(f for f in plan.functions if f.target in needed)
+            if not kept:
+                return self._prune(plan.child, needed)
+            child_needed = (needed - {f.target for f in plan.functions}) | set(
+                plan.partition_by
+            )
+            for f in kept:
+                if f.argument is not None:
+                    child_needed |= columns_in(f.argument)
+            child = self._prune(plan.child, child_needed)
+            return Window(child, plan.partition_by, kept)
+
+        if isinstance(plan, UnionAll):
+            positions = [i for i, col in enumerate(plan.columns) if col in needed]
+            columns = tuple(plan.columns[i] for i in positions)
+            new_inputs = []
+            new_branches = []
+            for child, branch in zip(plan.inputs, plan.input_columns):
+                branch_cols = tuple(branch[i] for i in positions)
+                new_inputs.append(self._prune(child, set(branch_cols)))
+                new_branches.append(branch_cols)
+            return UnionAll(tuple(new_inputs), columns, tuple(new_branches))
+
+        if isinstance(plan, Sort):
+            child_needed = set(needed)
+            for key in plan.keys:
+                child_needed |= columns_in(key.expression)
+            return Sort(self._prune(plan.child, child_needed), plan.keys)
+
+        if isinstance(plan, Limit):
+            return Limit(self._prune(plan.child, needed), plan.count)
+
+        if isinstance(plan, EnforceSingleRow):
+            # Arity must be preserved (the operator pads NULLs on empty
+            # input), so pass the child's full schema through.
+            child = self._prune(plan.child, set(plan.child.output_columns))
+            return EnforceSingleRow(child)
+
+        if isinstance(plan, ScalarApply):
+            if plan.output not in needed:
+                return self._prune(plan.input, needed)
+            input_needed = (needed - {plan.output}) | plan.free_columns
+            new_input = self._prune(plan.input, input_needed)
+            new_sub = self._prune(plan.subquery, {plan.value})
+            return ScalarApply(new_input, new_sub, plan.value, plan.output)
+
+        children = plan.children
+        if children:
+            new_children = tuple(
+                self._prune(c, set(c.output_columns)) for c in children
+            )
+            if new_children != children:
+                plan = plan.with_children(new_children)
+        return plan

@@ -1,0 +1,182 @@
+"""Predicate pushdown.
+
+Moves filter conjuncts as close to the scans as possible, turning
+cross joins (the binder's comma-join output) into inner joins with
+proper conditions along the way.  Fusion's join rules (§IV.A/B) need
+join conditions in place, and partition pruning needs predicates at the
+scans, so this pass runs before the fusion rules in *both* pipelines —
+it is part of the paper's baseline rule set.
+
+Safety rules per operator are conservative; anything that cannot be
+pushed stays in a Filter above the operator.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    TRUE,
+    ColumnRef,
+    Expression,
+    Literal,
+    columns_in,
+    conjuncts,
+    make_and,
+    substitute,
+)
+from repro.algebra.operators import (
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    PlanNode,
+    Project,
+    ScalarApply,
+    Scan,
+    Sort,
+    UnionAll,
+    Window,
+)
+from repro.algebra.schema import Column
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.rule import PlanPass
+
+
+def _covered(expr: Expression, columns: set[Column]) -> bool:
+    return columns_in(expr) <= columns
+
+
+class PredicatePushdown(PlanPass):
+    name = "predicate_pushdown"
+
+    def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
+        return self._push(plan, [])
+
+    def _wrap(self, plan: PlanNode, remaining: list[Expression]) -> PlanNode:
+        if not remaining:
+            return plan
+        return Filter(plan, make_and(remaining))
+
+    def _push(self, plan: PlanNode, pending: list[Expression]) -> PlanNode:
+        if isinstance(plan, Filter):
+            return self._push(plan.child, pending + conjuncts(plan.condition))
+
+        if isinstance(plan, Project):
+            # Only push a conjunct through when every projection column
+            # it touches is a plain column reference — inlining computed
+            # expressions would re-evaluate them (defeating, e.g., the
+            # mask-factoring projections of §V.B-shaped plans).
+            inline = {target.cid: expr for target, expr in plan.assignments}
+            cheap = {
+                target.cid
+                for target, expr in plan.assignments
+                if isinstance(expr, (ColumnRef,)) or isinstance(expr, Literal)
+            }
+            pushed = []
+            above = []
+            for conjunct in pending:
+                if all(c.cid in cheap for c in columns_in(conjunct)):
+                    pushed.append(substitute(conjunct, inline))
+                else:
+                    above.append(conjunct)
+            child = self._push(plan.child, pushed)
+            return self._wrap(Project(child, plan.assignments), above)
+
+        if isinstance(plan, Join):
+            return self._push_join(plan, pending)
+
+        if isinstance(plan, GroupBy):
+            keys = set(plan.keys)
+            below = [c for c in pending if _covered(c, keys)]
+            above = [c for c in pending if not _covered(c, keys)]
+            child = self._push(plan.child, below)
+            return self._wrap(GroupBy(child, plan.keys, plan.aggregates), above)
+
+        if isinstance(plan, Window):
+            partition = set(plan.partition_by)
+            below = [c for c in pending if _covered(c, partition)]
+            above = [c for c in pending if not _covered(c, partition)]
+            child = self._push(plan.child, below)
+            return self._wrap(Window(child, plan.partition_by, plan.functions), above)
+
+        if isinstance(plan, UnionAll):
+            new_inputs = []
+            for child, branch in zip(plan.inputs, plan.input_columns):
+                mapping = {
+                    out.cid: ColumnRef(src) for out, src in zip(plan.columns, branch)
+                }
+                branch_conjuncts = [substitute(c, mapping) for c in pending]
+                new_inputs.append(self._push(child, branch_conjuncts))
+            return UnionAll(tuple(new_inputs), plan.columns, plan.input_columns)
+
+        if isinstance(plan, Scan):
+            available = set(plan.columns)
+            absorbed = [c for c in pending if _covered(c, available)]
+            above = [c for c in pending if not _covered(c, available)]
+            if absorbed:
+                existing = conjuncts(plan.predicate)
+                plan = plan.with_predicate(make_and(existing + absorbed))
+            return self._wrap(plan, above)
+
+        if isinstance(plan, Sort):
+            child = self._push(plan.child, pending)
+            return Sort(child, plan.keys)
+
+        if isinstance(plan, ScalarApply):
+            inputs = set(plan.input.output_columns)
+            below = [c for c in pending if _covered(c, inputs)]
+            above = [c for c in pending if not _covered(c, inputs)]
+            new_input = self._push(plan.input, below)
+            new_sub = self._push(plan.subquery, [])
+            return self._wrap(
+                ScalarApply(new_input, new_sub, plan.value, plan.output), above
+            )
+
+        # MarkDistinct, Limit, EnforceSingleRow, Values, …: do not push
+        # through; recurse into children with an empty pool.
+        children = plan.children
+        if children:
+            new_children = tuple(self._push(c, []) for c in children)
+            if new_children != children:
+                plan = plan.with_children(new_children)
+        return self._wrap(plan, pending)
+
+    def _push_join(self, plan: Join, pending: list[Expression]) -> PlanNode:
+        left_cols = set(plan.left.output_columns)
+        right_cols = set(plan.right.output_columns)
+
+        if plan.kind in (JoinKind.INNER, JoinKind.CROSS):
+            pool = pending + conjuncts(plan.condition)
+            to_left = [c for c in pool if _covered(c, left_cols)]
+            to_right = [c for c in pool if _covered(c, right_cols) and c not in to_left]
+            mixed = [c for c in pool if c not in to_left and c not in to_right]
+            bad = [c for c in mixed if not _covered(c, left_cols | right_cols)]
+            mixed = [c for c in mixed if c not in bad]
+            left = self._push(plan.left, to_left)
+            right = self._push(plan.right, to_right)
+            if mixed:
+                joined = Join(JoinKind.INNER, left, right, make_and(mixed))
+            else:
+                joined = Join(JoinKind.CROSS, left, right)
+            return self._wrap(joined, bad)
+
+        if plan.kind is JoinKind.LEFT:
+            to_left = [c for c in pending if _covered(c, left_cols)]
+            above = [c for c in pending if not _covered(c, left_cols)]
+            condition_pool = conjuncts(plan.condition)
+            cond_to_right = [c for c in condition_pool if _covered(c, right_cols)]
+            cond_keep = [c for c in condition_pool if c not in cond_to_right]
+            left = self._push(plan.left, to_left)
+            right = self._push(plan.right, cond_to_right)
+            condition = make_and(cond_keep) if cond_keep else TRUE
+            return self._wrap(Join(JoinKind.LEFT, left, right, condition), above)
+
+        # SEMI / ANTI
+        to_left = [c for c in pending if _covered(c, left_cols)]
+        above = [c for c in pending if not _covered(c, left_cols)]
+        condition_pool = conjuncts(plan.condition)
+        cond_to_right = [c for c in condition_pool if _covered(c, right_cols)]
+        cond_keep = [c for c in condition_pool if c not in cond_to_right]
+        left = self._push(plan.left, to_left)
+        right = self._push(plan.right, cond_to_right)
+        condition = make_and(cond_keep) if cond_keep else TRUE
+        return self._wrap(Join(plan.kind, left, right, condition), above)

@@ -1,0 +1,176 @@
+"""Semi-join unification plumbing (the existing-engine rules §V.D
+relies on).
+
+Q95's "curious pattern" is two IN-subqueries probing the same column,
+where one subquery's result subsumes the other.  The paper simplifies
+it through an interplay of rules:
+
+1. :class:`SemiJoinToDistinctJoin` — "we first transform the semi-joins
+   into equivalent joins over a distinct on the right side".  Guarded
+   by a heuristic: it only fires when at least two semi-joins in the
+   same chain probe the *same* left column (otherwise the semi-join
+   form is strictly better and conversion would be a pessimization).
+2. :class:`DistinctPushdown` — "a rule that pushes a distinct operation
+   below a join whenever the distinct and join columns agree".
+3. The JoinOnKeys fusion rule (§IV.B) then fuses the duplicated
+   distinct subqueries; with identical keyed GroupBys and no
+   aggregates, fusion simply removes one.
+
+Both rules here are classical and run in the baseline pipeline too.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import ColumnRef, Comparison, conjuncts
+from repro.algebra.operators import (
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    PlanNode,
+    Project,
+)
+from repro.algebra.schema import Column
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.rule import RewriteRule
+
+
+def _semi_probe(join: Join) -> tuple[Column, Column] | None:
+    """For a semi join with a single ``left_col = right_col`` condition,
+    the (probe, right) column pair."""
+    if join.kind is not JoinKind.SEMI or join.condition is None:
+        return None
+    terms = conjuncts(join.condition)
+    if len(terms) != 1:
+        return None
+    term = terms[0]
+    if not (isinstance(term, Comparison) and term.op == "="):
+        return None
+    left, right = term.left, term.right
+    if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+        return None
+    left_cols = set(join.left.output_columns)
+    right_cols = set(join.right.output_columns)
+    if left.column in left_cols and right.column in right_cols:
+        return left.column, right.column
+    if right.column in left_cols and left.column in right_cols:
+        return right.column, left.column
+    return None
+
+
+def _convert_semi(join: Join, probe: Column, right_col: Column) -> PlanNode:
+    """SemiJoin(L, R, l=r)  →  Project[L cols](L ⨝ Distinct(π_r R))."""
+    projected = Project(join.right, ((right_col, ColumnRef(right_col)),))
+    distinct = GroupBy(projected, (right_col,), ())
+    inner = Join(
+        JoinKind.INNER,
+        join.left,
+        distinct,
+        Comparison("=", ColumnRef(probe), ColumnRef(right_col)),
+    )
+    assignments = tuple((c, ColumnRef(c)) for c in join.left.output_columns)
+    return Project(inner, assignments)
+
+
+class SemiJoinToDistinctJoin(RewriteRule):
+    """Convert chains of semi-joins probing the same column into joins
+    over distincts, enabling distinct pushdown + fusion."""
+
+    name = "semijoin_to_distinct_join"
+
+    def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
+        if not isinstance(node, Join) or node.kind is not JoinKind.SEMI:
+            return None
+        outer = _semi_probe(node)
+        if outer is None:
+            return None
+        probe = outer[0]
+        # Look down the left chain for another semi join on the same probe.
+        found = False
+        cursor: PlanNode = node.left
+        while True:
+            if isinstance(cursor, Join) and cursor.kind is JoinKind.SEMI:
+                inner = _semi_probe(cursor)
+                if inner is not None and inner[0] == probe:
+                    found = True
+                    break
+                cursor = cursor.left
+                continue
+            if isinstance(cursor, Filter):
+                cursor = cursor.child
+                continue
+            break
+        if not found:
+            return None
+
+        def convert_chain(plan: PlanNode) -> PlanNode:
+            if isinstance(plan, Join) and plan.kind is JoinKind.SEMI:
+                pair = _semi_probe(plan)
+                rebuilt_left = convert_chain(plan.left)
+                rebuilt = Join(plan.kind, rebuilt_left, plan.right, plan.condition)
+                if pair is not None and pair[0] == probe:
+                    return _convert_semi(rebuilt, pair[0], pair[1])
+                return rebuilt
+            if isinstance(plan, Filter):
+                return Filter(convert_chain(plan.child), plan.condition)
+            return plan
+
+        return convert_chain(node)
+
+
+class DistinctPushdown(RewriteRule):
+    """Distinct of a join column over an equi-join becomes a join of
+    per-side distincts::
+
+        Distinct[k](A ⨝[a=k] B)  →  π[k](Distinct[a](π_a A) ⨝ Distinct[k](π_k B))
+
+    Valid because each side keyed by its join column matches at most
+    one row on the other side.
+    """
+
+    name = "distinct_pushdown"
+
+    def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
+        if not isinstance(node, GroupBy) or node.aggregates or len(node.keys) != 1:
+            return None
+        key = node.keys[0]
+        child = node.child
+        # See through a single-column renaming projection.
+        rename: Column | None = None
+        if isinstance(child, Project):
+            if len(child.assignments) != 1:
+                return None
+            target, expr = child.assignments[0]
+            if target != key or not isinstance(expr, ColumnRef):
+                return None
+            rename = key
+            key = expr.column
+            child = child.child
+        if not (isinstance(child, Join) and child.kind is JoinKind.INNER):
+            return None
+        terms = conjuncts(child.condition)
+        if len(terms) != 1:
+            return None
+        term = terms[0]
+        if not (isinstance(term, Comparison) and term.op == "="):
+            return None
+        if not (isinstance(term.left, ColumnRef) and isinstance(term.right, ColumnRef)):
+            return None
+        a, b = term.left.column, term.right.column
+        left_cols = set(child.left.output_columns)
+        right_cols = set(child.right.output_columns)
+        if a in right_cols and b in left_cols:
+            a, b = b, a
+        if not (a in left_cols and b in right_cols):
+            return None
+        if key not in (a, b):
+            return None
+
+        left_d = GroupBy(Project(child.left, ((a, ColumnRef(a)),)), (a,), ())
+        right_d = GroupBy(Project(child.right, ((b, ColumnRef(b)),)), (b,), ())
+        joined = Join(
+            JoinKind.INNER, left_d, right_d, Comparison("=", ColumnRef(a), ColumnRef(b))
+        )
+        output = rename if rename is not None else key
+        ctx.record(self.name)
+        return Project(joined, ((output, ColumnRef(key)),))

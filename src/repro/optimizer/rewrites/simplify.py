@@ -1,0 +1,192 @@
+"""Expression simplification and structural cleanup rules.
+
+These are "orthogonal rules" in the paper's sense (§III.E): because
+fusion produces plans out of standard operators, simplification over
+masks and filters applies to fused results with no special handling.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    FALSE,
+    TRUE,
+    ColumnRef,
+    Expression,
+    make_and,
+    substitute,
+)
+from repro.algebra.operators import (
+    AggregateAssignment,
+    Filter,
+    GroupBy,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    UnionAll,
+    Values,
+    Window,
+)
+from repro.algebra.simplify import simplify, simplify_filter
+from repro.algebra.visitors import transform_up
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.rule import PlanPass, RewriteRule
+
+
+class SimplifyExpressions(PlanPass):
+    """Constant-fold and flatten every expression in the plan."""
+
+    name = "simplify_expressions"
+
+    def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
+        def fix(node: PlanNode) -> PlanNode:
+            if isinstance(node, Filter):
+                condition = simplify_filter(node.condition)
+                if condition != node.condition:
+                    return Filter(node.child, condition)
+                return node
+            if isinstance(node, Project):
+                assignments = tuple(
+                    (target, simplify(expr)) for target, expr in node.assignments
+                )
+                if assignments != node.assignments:
+                    return Project(node.child, assignments)
+                return node
+            if isinstance(node, Join) and node.condition is not None:
+                condition = simplify(node.condition)
+                if condition != node.condition:
+                    return Join(node.kind, node.left, node.right, condition)
+                return node
+            if isinstance(node, GroupBy):
+                aggregates = tuple(
+                    AggregateAssignment(
+                        a.target,
+                        a.func,
+                        None if a.argument is None else simplify(a.argument),
+                        simplify(a.mask),
+                        a.distinct,
+                    )
+                    for a in node.aggregates
+                )
+                if aggregates != node.aggregates:
+                    return GroupBy(node.child, node.keys, aggregates)
+                return node
+            if isinstance(node, Scan) and node.predicate is not None:
+                predicate = simplify_filter(node.predicate)
+                if predicate == TRUE:
+                    predicate = None
+                if predicate != node.predicate:
+                    return node.with_predicate(predicate)
+                return node
+            return node
+
+        return transform_up(plan, fix)
+
+
+class RemoveTrivialFilters(RewriteRule):
+    """Filter(TRUE) disappears; adjacent filters merge; Filter(FALSE)
+    becomes an empty Values relation."""
+
+    name = "remove_trivial_filters"
+
+    def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
+        if not isinstance(node, Filter):
+            return None
+        if node.condition == TRUE:
+            return node.child
+        if node.condition == FALSE:
+            return _empty_relation(node)
+        if isinstance(node.child, Filter):
+            merged = make_and([node.child.condition, node.condition])
+            return Filter(node.child.child, merged)
+        return None
+
+
+def _empty_relation(node: PlanNode) -> PlanNode:
+    """An empty Values with the same output schema."""
+    return Values(node.output_columns, ())
+
+
+class MergeProjections(RewriteRule):
+    """Project(Project(x)) composes into a single projection, and an
+    identity projection (same columns, same order, plain refs)
+    disappears."""
+
+    name = "merge_projections"
+
+    def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
+        if not isinstance(node, Project):
+            return None
+        child = node.child
+        if isinstance(child, Project):
+            inner = {target.cid: expr for target, expr in child.assignments}
+            composed = tuple(
+                (target, simplify(substitute(expr, inner)))
+                for target, expr in node.assignments
+            )
+            return Project(child.child, composed)
+        if node.output_columns == child.output_columns and all(
+            isinstance(expr, ColumnRef) and expr.column == target
+            for target, expr in node.assignments
+        ):
+            return child
+        return None
+
+
+def is_provably_empty(plan: PlanNode) -> bool:
+    """True when the plan can be shown to produce no rows."""
+    from repro.algebra.operators import (
+        Join,
+        JoinKind,
+        Limit,
+        MarkDistinct,
+        Sort,
+        Window,
+    )
+
+    if isinstance(plan, Values):
+        return not plan.rows
+    if isinstance(plan, (Filter, Project, Limit, Sort, MarkDistinct, Window)):
+        return is_provably_empty(plan.children[0])
+    if isinstance(plan, GroupBy):
+        return bool(plan.keys) and is_provably_empty(plan.child)
+    if isinstance(plan, Join):
+        if plan.kind is JoinKind.LEFT:
+            return is_provably_empty(plan.left)
+        if plan.kind is JoinKind.ANTI:
+            return is_provably_empty(plan.left)
+        return is_provably_empty(plan.left) or is_provably_empty(plan.right)
+    if isinstance(plan, UnionAll):
+        return all(is_provably_empty(child) for child in plan.inputs)
+    return False
+
+
+class PruneUnionBranches(RewriteRule):
+    """Drop UnionAll branches that are provably empty; a single
+    surviving branch replaces the union with a projection."""
+
+    name = "prune_union_branches"
+
+    def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
+        if not isinstance(node, UnionAll):
+            return None
+        keep = [
+            (child, branch)
+            for child, branch in zip(node.inputs, node.input_columns)
+            if not is_provably_empty(child)
+        ]
+        if len(keep) == len(node.inputs):
+            return None
+        if not keep:
+            return Values(node.columns, ())
+        if len(keep) == 1:
+            child, branch = keep[0]
+            assignments = tuple(
+                (out, ColumnRef(src)) for out, src in zip(node.columns, branch)
+            )
+            return Project(child, assignments)
+        return UnionAll(
+            tuple(child for child, _ in keep),
+            node.columns,
+            tuple(branch for _, branch in keep),
+        )

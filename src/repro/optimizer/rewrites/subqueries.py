@@ -1,0 +1,205 @@
+"""Subquery removal and decorrelation.
+
+Two classical rules the paper's §V pipelines depend on:
+
+* :class:`RemoveScalarSubqueries` — "the engine first performs subquery
+  removal and transforms the various expressions in the CASE statements
+  into relational subtrees connected via cross products" (§V.B): an
+  uncorrelated ScalarApply becomes a cross join with the (single-row)
+  subquery.
+
+* :class:`DecorrelateScalarAggregates` — the Galindo-Legaria/Joshi [20]
+  rewrite: a correlated scalar-aggregate subquery with equality
+  correlation becomes a join with a group-by on the correlation keys.
+  "The query can be decorrelated, which results in a pattern that
+  triggers the GroupByJoinToWindow rule" (§V.A).  Restricted to
+  NULL-on-empty aggregates (sum/avg/min/max) consumed by a
+  NULL-rejecting filter, where the inner-join form is equivalent.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    TRUE,
+    ColumnRef,
+    Comparison,
+    Expression,
+    columns_in,
+    conjuncts,
+    make_and,
+)
+from repro.algebra.operators import (
+    EnforceSingleRow,
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    PlanNode,
+    Project,
+    ScalarApply,
+    Sort,
+    Values,
+    referenced_columns,
+)
+from repro.algebra.schema import Column
+from repro.algebra.visitors import walk_plan
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.rule import RewriteRule
+
+#: Aggregates that return NULL over an empty group, making the
+#: inner-join decorrelation equivalent under a NULL-rejecting consumer.
+_NULL_ON_EMPTY = ("sum", "avg", "min", "max", "stddev_samp")
+
+
+def _guaranteed_single_row(plan: PlanNode) -> bool:
+    if isinstance(plan, GroupBy):
+        return plan.is_scalar
+    if isinstance(plan, EnforceSingleRow):
+        return True
+    if isinstance(plan, Values):
+        return len(plan.rows) == 1
+    if isinstance(plan, (Project, Sort)):
+        return _guaranteed_single_row(plan.children[0])
+    return False
+
+
+class RemoveScalarSubqueries(RewriteRule):
+    """Uncorrelated ScalarApply → cross join with the subquery."""
+
+    name = "remove_scalar_subqueries"
+
+    def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
+        if not isinstance(node, ScalarApply):
+            return None
+        if node.free_columns:
+            return None
+        subquery = node.subquery
+        if not _guaranteed_single_row(subquery):
+            subquery = EnforceSingleRow(subquery)
+        joined = Join(JoinKind.CROSS, node.input, subquery)
+        assignments = tuple(
+            (c, ColumnRef(c)) for c in node.input.output_columns
+        ) + ((node.output, ColumnRef(node.value)),)
+        return Project(joined, assignments)
+
+
+class DecorrelateScalarAggregates(RewriteRule):
+    """Correlated scalar-aggregate ScalarApply under a NULL-rejecting
+    Filter → inner join with a keyed GroupBy."""
+
+    name = "decorrelate_scalar_aggregates"
+
+    def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
+        if not isinstance(node, Filter):
+            return None
+        if not isinstance(node.child, ScalarApply):
+            return None
+        apply = node.child
+        free = apply.free_columns
+        if not free:
+            return None
+        if not self._null_rejecting(node.condition, apply.output):
+            return None
+        rebuilt = self._decorrelate(apply, free, ctx)
+        if rebuilt is None:
+            return None
+        return Filter(rebuilt, node.condition)
+
+    @staticmethod
+    def _null_rejecting(condition: Expression, output: Column) -> bool:
+        """Is there a top-level comparison conjunct over ``output``?
+        (Then rows where the subquery is NULL are filtered either way.)"""
+        for term in conjuncts(condition):
+            if isinstance(term, Comparison) and output in columns_in(term):
+                return True
+        return False
+
+    def _decorrelate(
+        self, apply: ScalarApply, free: set[Column], ctx: OptimizerContext
+    ) -> PlanNode | None:
+        # Peel renaming/computed projections above the scalar GroupBy.
+        projections: list[Project] = []
+        sub = apply.subquery
+        while isinstance(sub, Project):
+            if any(free & columns_in(e) for _, e in sub.assignments):
+                return None
+            projections.append(sub)
+            sub = sub.child
+        if not isinstance(sub, GroupBy) or not sub.is_scalar:
+            return None
+        for agg in sub.aggregates:
+            if agg.func not in _NULL_ON_EMPTY:
+                return None  # count() is 0 on empty: inner join unsound
+            exprs = [agg.mask] + ([agg.argument] if agg.argument is not None else [])
+            if any(free & columns_in(e) for e in exprs):
+                return None
+
+        below = sub.child
+        correlation: Expression = TRUE
+        inner = below
+        if isinstance(below, Filter):
+            correlation = below.condition
+            inner = below.child
+        if self._has_free_references(inner, free):
+            return None
+
+        inner_cols = set(inner.output_columns)
+        keys: list[Column] = []
+        outer_cols: list[Column] = []
+        residual: list[Expression] = []
+        for term in conjuncts(correlation):
+            pair = self._correlation_pair(term, inner_cols, free)
+            if pair is not None:
+                inner_col, outer_col = pair
+                if inner_col not in keys:
+                    keys.append(inner_col)
+                    outer_cols.append(outer_col)
+                elif outer_cols[keys.index(inner_col)] != outer_col:
+                    return None  # same inner key correlated twice
+                continue
+            if free & columns_in(term):
+                return None  # unsupported correlation shape
+            residual.append(term)
+        if not keys:
+            return None
+
+        grouped_child = Filter(inner, make_and(residual)) if residual else inner
+        grouped: PlanNode = GroupBy(grouped_child, tuple(keys), sub.aggregates)
+        # Re-apply peeled projections, passing the key columns through.
+        for projection in reversed(projections):
+            assignments = projection.assignments + tuple(
+                (k, ColumnRef(k)) for k in keys
+            )
+            grouped = Project(grouped, assignments)
+
+        condition = make_and(
+            Comparison("=", ColumnRef(outer), ColumnRef(inner_col))
+            for inner_col, outer in zip(keys, outer_cols)
+        )
+        joined = Join(JoinKind.INNER, apply.input, grouped, condition)
+        assignments = tuple(
+            (c, ColumnRef(c)) for c in apply.input.output_columns
+        ) + ((apply.output, ColumnRef(apply.value)),)
+        return Project(joined, assignments)
+
+    @staticmethod
+    def _has_free_references(plan: PlanNode, free: set[Column]) -> bool:
+        for node in walk_plan(plan):
+            if referenced_columns(node) & free:
+                return True
+        return False
+
+    @staticmethod
+    def _correlation_pair(
+        term: Expression, inner_cols: set[Column], free: set[Column]
+    ) -> tuple[Column, Column] | None:
+        if not (isinstance(term, Comparison) and term.op == "="):
+            return None
+        left, right = term.left, term.right
+        if not (isinstance(left, ColumnRef) and isinstance(right, ColumnRef)):
+            return None
+        if left.column in inner_cols and right.column in free:
+            return left.column, right.column
+        if right.column in inner_cols and left.column in free:
+            return right.column, left.column
+        return None

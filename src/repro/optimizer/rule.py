@@ -1,0 +1,79 @@
+"""Rule engine.
+
+Two rule shapes:
+
+* :class:`RewriteRule` — matches a single operator; the engine applies
+  it bottom-up across the tree, iterating to a (bounded) fixpoint;
+* :class:`PlanPass` — a whole-plan transformation (pushdown, pruning).
+
+A pipeline is an ordered list of passes; :func:`run_pipeline` executes
+them and returns the final plan.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.algebra.operators import PlanNode
+from repro.algebra.visitors import transform_up
+from repro.errors import OptimizerError
+from repro.optimizer.context import OptimizerContext
+
+
+class PlanPass(abc.ABC):
+    """A whole-plan transformation."""
+
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
+        """Return the rewritten plan (may be the input unchanged)."""
+
+
+class RewriteRule(PlanPass):
+    """A node-local rewrite applied bottom-up to fixpoint."""
+
+    name: str = "rule"
+
+    @abc.abstractmethod
+    def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
+        """Rewrite one node, or None when the rule does not apply."""
+
+    def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
+        for _ in range(ctx.config.max_iterations):
+            changed = False
+
+            def apply(node: PlanNode) -> PlanNode:
+                nonlocal changed
+                rewritten = self.rewrite(node, ctx)
+                if rewritten is None:
+                    return node
+                changed = True
+                ctx.record(self.name)
+                return rewritten
+
+            plan = transform_up(plan, apply)
+            if not changed:
+                return plan
+        return plan
+
+
+class Pipeline:
+    """An ordered sequence of passes."""
+
+    def __init__(self, passes: list[PlanPass]):
+        self.passes = passes
+
+    def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
+        for plan_pass in self.passes:
+            before = plan
+            plan = plan_pass.run(plan, ctx)
+            if plan is None:  # defensive: a buggy pass returned nothing
+                raise OptimizerError(f"pass {plan_pass.name} returned None")
+            if plan is not before and plan != before:
+                pass  # changed; nothing extra to do, kept for clarity
+        return plan
+
+
+def run_pipeline(plan: PlanNode, passes: list[PlanPass], ctx: OptimizerContext) -> PlanNode:
+    return Pipeline(passes).run(plan, ctx)

@@ -1,0 +1,250 @@
+"""Cardinality estimation.
+
+§IV.E: "Athena's optimizer does not yet support this form of
+exploration, so we rely on local heuristics based on statistics and
+plan properties to decide the applicability of each rule."  This module
+provides those statistics-based estimates: textbook selectivity
+formulas over the catalog's per-column statistics (ndv, min/max, null
+fraction), composed bottom-up over the plan.
+
+Estimates are used by the greedy join orderer and by the fusion rules'
+cost gate; they are deliberately crude (independence assumptions,
+uniformity) — exactly the "local heuristics" regime the paper
+describes, as opposed to Cascades-style full exploration.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    And,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    conjuncts,
+)
+from repro.algebra.operators import (
+    EnforceSingleRow,
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    Limit,
+    MarkDistinct,
+    PlanNode,
+    Project,
+    ScalarApply,
+    Scan,
+    Sort,
+    Spool,
+    UnionAll,
+    Values,
+    Window,
+)
+from repro.algebra.schema import Column
+from repro.catalog.catalog import Catalog, ColumnStats
+
+#: Fallback selectivities when statistics cannot decide.
+DEFAULT_EQUALITY = 0.1
+DEFAULT_RANGE = 0.3
+DEFAULT_OTHER = 0.5
+
+
+class CardinalityEstimator:
+    """Bottom-up row-count estimation over a plan tree."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- public -----------------------------------------------------------
+
+    def estimate(self, plan: PlanNode) -> float:
+        stats = self._collect_column_stats(plan)
+        return self._rows(plan, stats)
+
+    # -- column statistics ---------------------------------------------------
+
+    def _collect_column_stats(self, plan: PlanNode) -> dict[int, ColumnStats]:
+        """Map plan column ids to the stored column stats they originate
+        from (scans introduce them; renaming projections forward them)."""
+        stats: dict[int, ColumnStats] = {}
+
+        def visit(node: PlanNode) -> None:
+            for child in node.children:
+                visit(child)
+            if isinstance(node, Scan) and self.catalog.has_table(node.table):
+                for column, source in zip(node.columns, node.source_names):
+                    found = self.catalog.column_stats(node.table, source)
+                    if found is not None:
+                        stats[column.cid] = found
+            elif isinstance(node, Project):
+                for target, expr in node.assignments:
+                    if isinstance(expr, ColumnRef) and expr.column.cid in stats:
+                        stats[target.cid] = stats[expr.column.cid]
+            elif isinstance(node, Spool):
+                for target, source in zip(node.columns, node.child.output_columns):
+                    if source.cid in stats:
+                        stats[target.cid] = stats[source.cid]
+
+        visit(plan)
+        return stats
+
+    # -- row counts ----------------------------------------------------------
+
+    def _rows(self, plan: PlanNode, stats: dict[int, ColumnStats]) -> float:
+        if isinstance(plan, Scan):
+            rows = float(
+                self.catalog.row_count(plan.table)
+                if self.catalog.has_table(plan.table)
+                else 1000.0
+            )
+            if plan.predicate is not None:
+                rows *= self._selectivity(plan.predicate, stats)
+            return max(rows, 1.0)
+        if isinstance(plan, Values):
+            return float(len(plan.rows))
+        if isinstance(plan, Filter):
+            return max(
+                self._rows(plan.child, stats) * self._selectivity(plan.condition, stats),
+                1.0,
+            )
+        if isinstance(plan, (Project, MarkDistinct, Window, Sort)):
+            return self._rows(plan.children[0], stats)
+        if isinstance(plan, Spool):
+            return self._rows(plan.child, stats)
+        if isinstance(plan, Limit):
+            return min(self._rows(plan.child, stats), float(plan.count))
+        if isinstance(plan, EnforceSingleRow):
+            return 1.0
+        if isinstance(plan, ScalarApply):
+            return self._rows(plan.input, stats)
+        if isinstance(plan, UnionAll):
+            return sum(self._rows(child, stats) for child in plan.inputs)
+        if isinstance(plan, GroupBy):
+            child_rows = self._rows(plan.child, stats)
+            if plan.is_scalar:
+                return 1.0
+            groups = 1.0
+            for key in plan.keys:
+                key_stats = stats.get(key.cid)
+                groups *= key_stats.ndv if key_stats and key_stats.ndv else 25.0
+            return max(min(child_rows, groups), 1.0)
+        if isinstance(plan, Join):
+            return self._join_rows(plan, stats)
+        return 1000.0
+
+    def _join_rows(self, plan: Join, stats: dict[int, ColumnStats]) -> float:
+        left = self._rows(plan.left, stats)
+        right = self._rows(plan.right, stats)
+        if plan.kind is JoinKind.CROSS:
+            return left * right
+        selectivity = 1.0
+        residual: list[Expression] = []
+        for term in conjuncts(plan.condition):
+            if (
+                isinstance(term, Comparison)
+                and term.op == "="
+                and isinstance(term.left, ColumnRef)
+                and isinstance(term.right, ColumnRef)
+            ):
+                a = stats.get(term.left.column.cid)
+                b = stats.get(term.right.column.cid)
+                ndv = max(
+                    a.ndv if a and a.ndv else 0,
+                    b.ndv if b and b.ndv else 0,
+                )
+                selectivity *= 1.0 / ndv if ndv else DEFAULT_EQUALITY
+            else:
+                residual.append(term)
+        for term in residual:
+            selectivity *= self._selectivity(term, stats)
+        if plan.kind in (JoinKind.SEMI, JoinKind.ANTI):
+            fraction = min(right * selectivity, 1.0)
+            matched = left * fraction
+            return max(matched if plan.kind is JoinKind.SEMI else left - matched, 1.0)
+        if plan.kind is JoinKind.LEFT:
+            return max(left * right * selectivity, left)
+        return max(left * right * selectivity, 1.0)
+
+    # -- selectivity --------------------------------------------------------
+
+    def _selectivity(self, expr: Expression, stats: dict[int, ColumnStats]) -> float:
+        if isinstance(expr, Literal):
+            if expr.value is True:
+                return 1.0
+            return 0.0
+        if isinstance(expr, And):
+            out = 1.0
+            for term in expr.terms:
+                out *= self._selectivity(term, stats)
+            return out
+        if isinstance(expr, Or):
+            miss = 1.0
+            for term in expr.terms:
+                miss *= 1.0 - self._selectivity(term, stats)
+            return 1.0 - miss
+        if isinstance(expr, Not):
+            return max(0.0, 1.0 - self._selectivity(expr.term, stats))
+        if isinstance(expr, IsNull):
+            column = self._plain_column(expr.operand)
+            found = stats.get(column.cid) if column else None
+            return found.null_fraction if found else 0.1
+        if isinstance(expr, InList):
+            column = self._plain_column(expr.operand)
+            found = stats.get(column.cid) if column else None
+            if found and found.ndv:
+                return min(len(expr.items) / found.ndv, 1.0)
+            return min(len(expr.items) * DEFAULT_EQUALITY, 1.0)
+        if isinstance(expr, Like):
+            return DEFAULT_RANGE
+        if isinstance(expr, Comparison):
+            return self._comparison_selectivity(expr, stats)
+        return DEFAULT_OTHER
+
+    def _comparison_selectivity(
+        self, expr: Comparison, stats: dict[int, ColumnStats]
+    ) -> float:
+        column, op, value = self._column_vs_literal(expr)
+        if column is None:
+            return DEFAULT_EQUALITY if expr.op == "=" else DEFAULT_RANGE
+        found = stats.get(column.cid)
+        if found is None:
+            return DEFAULT_EQUALITY if op == "=" else DEFAULT_RANGE
+        non_null = 1.0 - found.null_fraction
+        if op == "=":
+            return non_null / found.ndv if found.ndv else DEFAULT_EQUALITY
+        if op == "<>":
+            return non_null * (1.0 - (1.0 / found.ndv if found.ndv else DEFAULT_EQUALITY))
+        lo, hi = found.min_value, found.max_value
+        if (
+            lo is None
+            or hi is None
+            or not isinstance(value, (int, float))
+            or not isinstance(lo, (int, float))
+            or hi == lo
+        ):
+            return DEFAULT_RANGE
+        fraction = (value - lo) / (hi - lo)
+        fraction = min(max(fraction, 0.0), 1.0)
+        if op in ("<", "<="):
+            return non_null * fraction
+        return non_null * (1.0 - fraction)
+
+    @staticmethod
+    def _plain_column(expr: Expression) -> Column | None:
+        return expr.column if isinstance(expr, ColumnRef) else None
+
+    @staticmethod
+    def _column_vs_literal(expr: Comparison):
+        left, right = expr.left, expr.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            return left.column, expr.op, right.value
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            commuted = expr.commuted()
+            return right.column, commuted.op, left.value
+        return None, None, None

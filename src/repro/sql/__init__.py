@@ -1,0 +1,6 @@
+"""SQL frontend: lexer, parser, AST, and binder."""
+
+from repro.sql.binder import Binder, BoundQuery
+from repro.sql.parser import parse
+
+__all__ = ["parse", "Binder", "BoundQuery"]

@@ -1,0 +1,239 @@
+"""SQL abstract syntax tree.
+
+The AST is deliberately separate from the algebra: names are unresolved
+strings here; the binder (:mod:`repro.sql.binder`) turns them into
+column identities.  The node set covers the dialect the TPC-DS-style
+workload needs: WITH, SELECT (DISTINCT), expressions with aggregates /
+FILTER / window OVER(PARTITION BY), joins (comma and explicit), derived
+tables, VALUES, IN/EXISTS/scalar subqueries, BETWEEN, CASE, LIKE,
+UNION ALL, GROUP BY / HAVING / ORDER BY / LIMIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+class SqlExpr:
+    """Base class of AST expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Identifier(SqlExpr):
+    """A possibly-qualified name: ``a`` or ``t.a``."""
+
+    parts: tuple[str, ...]
+
+    @property
+    def qualifier(self) -> str | None:
+        return self.parts[0] if len(self.parts) > 1 else None
+
+    @property
+    def column(self) -> str:
+        return self.parts[-1]
+
+
+@dataclass(frozen=True)
+class NumberLit(SqlExpr):
+    text: str
+
+    @property
+    def is_integer(self) -> bool:
+        return "." not in self.text
+
+
+@dataclass(frozen=True)
+class StringLit(SqlExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class BoolLit(SqlExpr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class NullLit(SqlExpr):
+    pass
+
+
+@dataclass(frozen=True)
+class Star(SqlExpr):
+    """``*`` or ``t.*`` in a select list or COUNT(*)."""
+
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(SqlExpr):
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class UnaryOp(SqlExpr):
+    op: str  # "-" or "NOT"
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class IsNullExpr(SqlExpr):
+    operand: SqlExpr
+    negated: bool
+
+
+@dataclass(frozen=True)
+class BetweenExpr(SqlExpr):
+    operand: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+    negated: bool
+
+
+@dataclass(frozen=True)
+class LikeExpr(SqlExpr):
+    operand: SqlExpr
+    pattern: str
+    negated: bool
+
+
+@dataclass(frozen=True)
+class InListExpr(SqlExpr):
+    operand: SqlExpr
+    items: tuple[SqlExpr, ...]
+    negated: bool
+
+
+@dataclass(frozen=True)
+class InSubqueryExpr(SqlExpr):
+    operand: SqlExpr
+    query: "Query"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class ExistsExpr(SqlExpr):
+    query: "Query"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(SqlExpr):
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class CaseExpr(SqlExpr):
+    whens: tuple[tuple[SqlExpr, SqlExpr], ...]
+    default: SqlExpr | None
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    partition_by: tuple[SqlExpr, ...]
+
+
+@dataclass(frozen=True)
+class FuncCall(SqlExpr):
+    """Function call: scalar, aggregate (with DISTINCT / FILTER), or
+    windowed aggregate (with OVER)."""
+
+    name: str
+    args: tuple[SqlExpr, ...]
+    distinct: bool = False
+    filter_where: SqlExpr | None = None
+    over: WindowSpec | None = None
+
+
+# --------------------------------------------------------------------------
+# Table references
+# --------------------------------------------------------------------------
+
+
+class TableRef:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class DerivedTable(TableRef):
+    query: "Query"
+    alias: str
+    column_aliases: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ValuesTable(TableRef):
+    rows: tuple[tuple[SqlExpr, ...], ...]
+    alias: str
+    column_aliases: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class JoinedTable(TableRef):
+    kind: str  # "inner", "left", "cross"
+    left: TableRef
+    right: TableRef
+    condition: SqlExpr | None
+
+
+# --------------------------------------------------------------------------
+# Query structure
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: SqlExpr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: SqlExpr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select:
+    """One SELECT block."""
+
+    items: tuple[SelectItem, ...]
+    from_refs: tuple[TableRef, ...]
+    where: SqlExpr | None = None
+    group_by: tuple[SqlExpr, ...] = ()
+    having: SqlExpr | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class UnionAllBody:
+    """N-ary UNION ALL of SELECT blocks."""
+
+    branches: tuple[Select, ...]
+
+
+QueryBody = object  # Select | UnionAllBody
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full query: optional WITH list, body, ORDER BY, LIMIT."""
+
+    body: QueryBody
+    ctes: tuple[tuple[str, "Query"], ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None

@@ -1,0 +1,136 @@
+"""SQL lexer.
+
+Produces a flat token stream with line/column positions for error
+reporting.  Keywords are not distinguished from identifiers here — the
+parser decides contextually, which keeps the reserved-word set small.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def __repr__(self) -> str:
+        return f"{self.type.value}:{self.text!r}@{self.line}:{self.column}"
+
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "||")
+_PUNCT = "(),."
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text.  Raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def col(pos: int) -> int:
+        return pos - line_start + 1
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated block comment", line, col(i))
+            line += text.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SqlSyntaxError("unterminated string literal", line, col(i))
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), line, col(i)))
+            i = j + 1
+            continue
+        if ch == '"':
+            j = text.find('"', i + 1)
+            if j == -1:
+                raise SqlSyntaxError("unterminated quoted identifier", line, col(i))
+            tokens.append(Token(TokenType.IDENT, text[i + 1 : j], line, col(i)))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is punctuation (e.g. "1.e")
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], line, col(i)))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(TokenType.IDENT, text[i:j], line, col(i)))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, line, col(i)))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, line, col(i)))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", line, col(i))
+
+    tokens.append(Token(TokenType.EOF, "", line, col(i)))
+    return tokens

@@ -1,0 +1,443 @@
+"""Recursive-descent SQL parser.
+
+Parses the dialect described in :mod:`repro.sql.ast`.  Entry point is
+:func:`parse`, which returns a :class:`~repro.sql.ast.Query`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.lexer import Token, TokenType, tokenize
+
+#: Words that terminate an expression or a FROM item and therefore can
+#: never be used as an implicit alias.
+_RESERVED = {
+    "SELECT", "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT",
+    "UNION", "ALL", "ON", "JOIN", "LEFT", "RIGHT", "INNER", "OUTER",
+    "CROSS", "AS", "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN",
+    "LIKE", "IS", "NULL", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "DISTINCT", "FILTER", "OVER", "PARTITION", "WITH", "VALUES",
+    "TRUE", "FALSE", "ASC", "DESC", "BY",
+}
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> SqlSyntaxError:
+        token = self.current
+        return SqlSyntaxError(
+            f"{message} (found {token.text!r})", token.line, token.column
+        )
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.current
+        return token.type is TokenType.IDENT and token.upper in words
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.at_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise self.error(f"expected {word}")
+
+    def at_punct(self, text: str) -> bool:
+        token = self.current
+        return token.type in (TokenType.PUNCT, TokenType.OPERATOR) and token.text == text
+
+    def accept_punct(self, text: str) -> bool:
+        if self.at_punct(text):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> None:
+        if not self.accept_punct(text):
+            raise self.error(f"expected {text!r}")
+
+    # -- query structure ----------------------------------------------------
+
+    def parse_query(self) -> ast.Query:
+        ctes: list[tuple[str, ast.Query]] = []
+        if self.accept_keyword("WITH"):
+            while True:
+                name = self.expect_identifier("CTE name")
+                self.expect_keyword("AS")
+                self.expect_punct("(")
+                ctes.append((name, self.parse_query()))
+                self.expect_punct(")")
+                if not self.accept_punct(","):
+                    break
+        branches = [self.parse_select()]
+        while self.at_keyword("UNION"):
+            self.advance()
+            self.expect_keyword("ALL")
+            branches.append(self.parse_select())
+        body: object
+        if len(branches) == 1:
+            body = branches[0]
+        else:
+            body = ast.UnionAllBody(tuple(branches))
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                expr = self.parse_expression()
+                ascending = True
+                if self.accept_keyword("DESC"):
+                    ascending = False
+                else:
+                    self.accept_keyword("ASC")
+                order_by.append(ast.OrderItem(expr, ascending))
+                if not self.accept_punct(","):
+                    break
+        limit: int | None = None
+        if self.accept_keyword("LIMIT"):
+            token = self.current
+            if token.type is not TokenType.NUMBER or "." in token.text:
+                raise self.error("expected integer LIMIT")
+            limit = int(self.advance().text)
+        return ast.Query(body, tuple(ctes), tuple(order_by), limit)
+
+    def parse_select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+        from_refs: list[ast.TableRef] = []
+        if self.accept_keyword("FROM"):
+            from_refs.append(self.parse_table_ref())
+            while self.accept_punct(","):
+                from_refs.append(self.parse_table_ref())
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        group_by: list[ast.SqlExpr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expression())
+        having = self.parse_expression() if self.accept_keyword("HAVING") else None
+        return ast.Select(
+            tuple(items), tuple(from_refs), where, tuple(group_by), having, distinct
+        )
+
+    def parse_select_item(self) -> ast.SelectItem:
+        if self.at_punct("*"):
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        # qualified star:  t.*
+        if (
+            self.current.type is TokenType.IDENT
+            and self.current.upper not in _RESERVED
+            and self.peek(1).text == "."
+            and self.peek(2).text == "*"
+        ):
+            qualifier = self.advance().text
+            self.advance()  # .
+            self.advance()  # *
+            return ast.SelectItem(ast.Star(qualifier))
+        expr = self.parse_expression()
+        alias: str | None = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.current.type is TokenType.IDENT and self.current.upper not in _RESERVED:
+            alias = self.advance().text
+        return ast.SelectItem(expr, alias)
+
+    def expect_identifier(self, what: str) -> str:
+        token = self.current
+        if token.type is not TokenType.IDENT or token.upper in _RESERVED:
+            raise self.error(f"expected {what}")
+        return self.advance().text
+
+    # -- FROM clause ----------------------------------------------------
+
+    def parse_table_ref(self) -> ast.TableRef:
+        ref = self.parse_primary_ref()
+        while True:
+            if self.accept_keyword("CROSS"):
+                self.expect_keyword("JOIN")
+                right = self.parse_primary_ref()
+                ref = ast.JoinedTable("cross", ref, right, None)
+                continue
+            kind = None
+            if self.at_keyword("JOIN"):
+                kind = "inner"
+                self.advance()
+            elif self.at_keyword("INNER") and self.peek(1).upper == "JOIN":
+                self.advance()
+                self.advance()
+                kind = "inner"
+            elif self.at_keyword("LEFT"):
+                self.advance()
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                kind = "left"
+            if kind is None:
+                return ref
+            right = self.parse_primary_ref()
+            self.expect_keyword("ON")
+            condition = self.parse_expression()
+            ref = ast.JoinedTable(kind, ref, right, condition)
+
+    def parse_primary_ref(self) -> ast.TableRef:
+        if self.accept_punct("("):
+            if self.at_keyword("VALUES"):
+                self.advance()
+                rows = [self.parse_values_row()]
+                while self.accept_punct(","):
+                    rows.append(self.parse_values_row())
+                self.expect_punct(")")
+                alias, col_aliases = self.parse_alias_clause(required=True)
+                return ast.ValuesTable(tuple(rows), alias, col_aliases)
+            query = self.parse_query()
+            self.expect_punct(")")
+            alias, col_aliases = self.parse_alias_clause(required=True)
+            return ast.DerivedTable(query, alias, col_aliases)
+        name = self.expect_identifier("table name")
+        alias, _ = self.parse_alias_clause(required=False)
+        return ast.NamedTable(name, alias)
+
+    def parse_values_row(self) -> tuple[ast.SqlExpr, ...]:
+        self.expect_punct("(")
+        exprs = [self.parse_expression()]
+        while self.accept_punct(","):
+            exprs.append(self.parse_expression())
+        self.expect_punct(")")
+        return tuple(exprs)
+
+    def parse_alias_clause(self, required: bool) -> tuple[str | None, tuple[str, ...]]:
+        alias: str | None = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.current.type is TokenType.IDENT and self.current.upper not in _RESERVED:
+            alias = self.advance().text
+        if alias is None and required:
+            raise self.error("derived table requires an alias")
+        col_aliases: tuple[str, ...] = ()
+        if alias is not None and self.at_punct("("):
+            self.advance()
+            names = [self.expect_identifier("column alias")]
+            while self.accept_punct(","):
+                names.append(self.expect_identifier("column alias"))
+            self.expect_punct(")")
+            col_aliases = tuple(names)
+        return alias, col_aliases
+
+    # -- expressions ----------------------------------------------------
+
+    def parse_expression(self) -> ast.SqlExpr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.SqlExpr:
+        expr = self.parse_and()
+        while self.accept_keyword("OR"):
+            expr = ast.BinaryOp("OR", expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> ast.SqlExpr:
+        expr = self.parse_not()
+        while self.accept_keyword("AND"):
+            expr = ast.BinaryOp("AND", expr, self.parse_not())
+        return expr
+
+    def parse_not(self) -> ast.SqlExpr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> ast.SqlExpr:
+        expr = self.parse_additive()
+        while True:
+            token = self.current
+            if token.type is TokenType.OPERATOR and token.text in _COMPARISONS:
+                op = self.advance().text
+                if op == "!=":
+                    op = "<>"
+                right = self.parse_additive()
+                expr = ast.BinaryOp(op, expr, right)
+                continue
+            if self.at_keyword("IS"):
+                self.advance()
+                negated = bool(self.accept_keyword("NOT"))
+                self.expect_keyword("NULL")
+                expr = ast.IsNullExpr(expr, negated)
+                continue
+            negated = False
+            if self.at_keyword("NOT") and self.peek(1).upper in ("BETWEEN", "IN", "LIKE"):
+                self.advance()
+                negated = True
+            if self.accept_keyword("BETWEEN"):
+                low = self.parse_additive()
+                self.expect_keyword("AND")
+                high = self.parse_additive()
+                expr = ast.BetweenExpr(expr, low, high, negated)
+                continue
+            if self.accept_keyword("LIKE"):
+                token = self.current
+                if token.type is not TokenType.STRING:
+                    raise self.error("LIKE requires a string literal pattern")
+                expr = ast.LikeExpr(expr, self.advance().text, negated)
+                continue
+            if self.accept_keyword("IN"):
+                self.expect_punct("(")
+                if self.at_keyword("SELECT", "WITH"):
+                    query = self.parse_query()
+                    self.expect_punct(")")
+                    expr = ast.InSubqueryExpr(expr, query, negated)
+                else:
+                    items = [self.parse_expression()]
+                    while self.accept_punct(","):
+                        items.append(self.parse_expression())
+                    self.expect_punct(")")
+                    expr = ast.InListExpr(expr, tuple(items), negated)
+                continue
+            return expr
+
+    def parse_additive(self) -> ast.SqlExpr:
+        expr = self.parse_multiplicative()
+        while self.current.type is TokenType.OPERATOR and self.current.text in ("+", "-"):
+            op = self.advance().text
+            expr = ast.BinaryOp(op, expr, self.parse_multiplicative())
+        return expr
+
+    def parse_multiplicative(self) -> ast.SqlExpr:
+        expr = self.parse_unary()
+        while self.current.type is TokenType.OPERATOR and self.current.text in ("*", "/"):
+            op = self.advance().text
+            expr = ast.BinaryOp(op, expr, self.parse_unary())
+        return expr
+
+    def parse_unary(self) -> ast.SqlExpr:
+        if self.current.type is TokenType.OPERATOR and self.current.text == "-":
+            self.advance()
+            return ast.UnaryOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> ast.SqlExpr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return ast.NumberLit(token.text)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.StringLit(token.text)
+        if self.at_keyword("TRUE"):
+            self.advance()
+            return ast.BoolLit(True)
+        if self.at_keyword("FALSE"):
+            self.advance()
+            return ast.BoolLit(False)
+        if self.at_keyword("NULL"):
+            self.advance()
+            return ast.NullLit()
+        if self.at_keyword("CASE"):
+            return self.parse_case()
+        if self.at_keyword("EXISTS"):
+            self.advance()
+            self.expect_punct("(")
+            query = self.parse_query()
+            self.expect_punct(")")
+            return ast.ExistsExpr(query, negated=False)
+        if self.at_punct("("):
+            self.advance()
+            if self.at_keyword("SELECT", "WITH"):
+                query = self.parse_query()
+                self.expect_punct(")")
+                return ast.ScalarSubquery(query)
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENT and token.upper not in _RESERVED:
+            if self.peek(1).text == "(":
+                return self.parse_function_call()
+            return self.parse_identifier()
+        raise self.error("expected an expression")
+
+    def parse_case(self) -> ast.SqlExpr:
+        self.expect_keyword("CASE")
+        whens: list[tuple[ast.SqlExpr, ast.SqlExpr]] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.parse_expression()
+            self.expect_keyword("THEN")
+            whens.append((cond, self.parse_expression()))
+        if not whens:
+            raise self.error("CASE requires at least one WHEN")
+        default = self.parse_expression() if self.accept_keyword("ELSE") else None
+        self.expect_keyword("END")
+        return ast.CaseExpr(tuple(whens), default)
+
+    def parse_identifier(self) -> ast.SqlExpr:
+        parts = [self.expect_identifier("identifier")]
+        while self.at_punct(".") and self.peek(1).type is TokenType.IDENT:
+            self.advance()
+            parts.append(self.expect_identifier("identifier"))
+        return ast.Identifier(tuple(parts))
+
+    def parse_function_call(self) -> ast.SqlExpr:
+        name = self.advance().text
+        self.expect_punct("(")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        args: list[ast.SqlExpr] = []
+        if self.at_punct("*"):
+            self.advance()
+            args.append(ast.Star())
+        elif not self.at_punct(")"):
+            args.append(self.parse_expression())
+            while self.accept_punct(","):
+                args.append(self.parse_expression())
+        self.expect_punct(")")
+        filter_where: ast.SqlExpr | None = None
+        if self.at_keyword("FILTER"):
+            self.advance()
+            self.expect_punct("(")
+            self.expect_keyword("WHERE")
+            filter_where = self.parse_expression()
+            self.expect_punct(")")
+        over: ast.WindowSpec | None = None
+        if self.at_keyword("OVER"):
+            self.advance()
+            self.expect_punct("(")
+            partition: list[ast.SqlExpr] = []
+            if self.accept_keyword("PARTITION"):
+                self.expect_keyword("BY")
+                partition.append(self.parse_expression())
+                while self.accept_punct(","):
+                    partition.append(self.parse_expression())
+            self.expect_punct(")")
+            over = ast.WindowSpec(tuple(partition))
+        return ast.FuncCall(name, tuple(args), distinct, filter_where, over)
+
+
+def parse(text: str) -> ast.Query:
+    """Parse SQL text into a :class:`~repro.sql.ast.Query`."""
+    parser = _Parser(text)
+    query = parser.parse_query()
+    if parser.current.type is not TokenType.EOF:
+        raise parser.error("unexpected trailing input")
+    return query

@@ -1,0 +1,6 @@
+"""Columnar partitioned storage with scan accounting (S3+Parquet stand-in)."""
+
+from repro.storage.accounting import ScanAccounting
+from repro.storage.columnar import ColumnChunk, Partition, Store, StoredTable
+
+__all__ = ["ScanAccounting", "ColumnChunk", "Partition", "Store", "StoredTable"]

@@ -1,0 +1,52 @@
+"""Scan accounting: the pay-per-byte-scanned meter.
+
+Athena bills per TB scanned from S3, and the paper reports "bytes read"
+as a first-class experimental axis (Figure 2).  :class:`ScanAccounting`
+is the single place all scans report to: every partition column chunk a
+query reads adds its encoded size (and row count) here, broken down per
+table, so benchmarks can report exact data-read ratios between plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ScanAccounting:
+    """Accumulates bytes/rows read by scans during one query execution."""
+
+    bytes_scanned: float = 0.0
+    rows_scanned: int = 0
+    partitions_read: int = 0
+    bytes_by_table: dict[str, float] = field(default_factory=dict)
+    scans_by_table: dict[str, int] = field(default_factory=dict)
+
+    def record_chunk(self, table: str, nbytes: float) -> None:
+        """One column chunk of one partition was read."""
+        self.bytes_scanned += nbytes
+        self.bytes_by_table[table] = self.bytes_by_table.get(table, 0.0) + nbytes
+
+    def record_partition(self, rows: int = 0) -> None:
+        self.partitions_read += 1
+        self.rows_scanned += rows
+
+    def record_scan(self, table: str) -> None:
+        """A scan operator started reading ``table``."""
+        self.scans_by_table[table] = self.scans_by_table.get(table, 0) + 1
+
+    def reset(self) -> None:
+        self.bytes_scanned = 0.0
+        self.rows_scanned = 0
+        self.partitions_read = 0
+        self.bytes_by_table.clear()
+        self.scans_by_table.clear()
+
+    def snapshot(self) -> "ScanAccounting":
+        """An independent copy of the current counters."""
+        copy = ScanAccounting(
+            self.bytes_scanned, self.rows_scanned, self.partitions_read
+        )
+        copy.bytes_by_table = dict(self.bytes_by_table)
+        copy.scans_by_table = dict(self.scans_by_table)
+        return copy

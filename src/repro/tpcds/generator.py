@@ -1,0 +1,418 @@
+"""Deterministic synthetic TPC-DS-shaped data generator.
+
+Stands in for ``dsdgen`` (the paper uses TPC-DS at scale factor 3 TB;
+see DESIGN.md §4 for the substitution argument).  The generator is:
+
+* **seeded** — the same ``(scale, seed)`` always produces identical
+  data, so tests and benchmarks are reproducible;
+* **schema-faithful** — real TPC-DS column names, surrogate-key joins,
+  `d_month_seq = (year-1900)*12 + (month-1)` (so Jan-2000 is 1200,
+  matching the constants real TPC-DS queries use);
+* **distribution-aware** — the selective columns the studied queries
+  filter on (`d_year`, `d_month_seq`, `ss_quantity` buckets, store
+  states, item sizes/categories, shared `ws_order_number` across
+  warehouses) have domains that give those predicates non-trivial
+  selectivity;
+* **partitioned** — fact rows are generated sorted by their date key
+  and split into range partitions, enabling partition pruning.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+
+import numpy as np
+
+from repro.storage.columnar import Store, StoredTable
+from repro.tpcds import schema as S
+
+#: First date in the calendar (real TPC-DS starts its surrogate keys
+#: near this value; we keep the same magnitude for familiarity).
+DATE_SK_BASE = 2450816
+FIRST_DATE = datetime.date(1998, 1, 1)
+LAST_DATE = datetime.date(2002, 12, 31)
+
+_STATES = ["TN", "GA", "CA", "TX", "OH", "WA", "NY", "IL"]
+_CATEGORIES = [
+    "Music", "Books", "Electronics", "Home", "Sports",
+    "Shoes", "Jewelry", "Women", "Men", "Children",
+]
+_SIZES = ["small", "medium", "large", "extra large", "petite", "N/A"]
+_COLORS = [
+    "red", "blue", "green", "black", "white", "yellow",
+    "purple", "orange", "brown", "pink",
+]
+_DAY_NAMES = ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"]
+_FIRST_NAMES = ["John", "Mary", "James", "Linda", "Robert", "Susan", "David", "Karen"]
+_LAST_NAMES = ["Smith", "Jones", "Brown", "Davis", "Wilson", "Taylor", "Clark", "Lewis"]
+_REASONS = [
+    "Package was damaged", "Wrong size", "Changed mind", "Found better price",
+    "Gift exchange", "Arrived late", "Quality issue", "Duplicate order",
+    "Not as described", "No reason given",
+]
+
+
+def date_sk_for(year: int, month: int, day: int) -> int:
+    """Surrogate key of a calendar date."""
+    return DATE_SK_BASE + (datetime.date(year, month, day) - FIRST_DATE).days
+
+
+def month_seq(year: int, month: int) -> int:
+    """TPC-DS d_month_seq convention: Jan-2000 == 1200."""
+    return (year - 1900) * 12 + (month - 1)
+
+
+class _TableSizes:
+    """Row counts per table at a given scale."""
+
+    def __init__(self, scale: float):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.item = max(200, int(1000 * scale))
+        self.customer = max(400, int(2000 * scale))
+        self.customer_address = max(200, int(1000 * scale))
+        self.store = max(6, int(12 * math.sqrt(scale)))
+        self.web_site = max(4, int(8 * math.sqrt(scale)))
+        self.warehouse = 5
+        self.household_demographics = 120
+        self.reason = len(_REASONS)
+        self.store_sales = int(40_000 * scale)
+        self.store_returns = int(8_000 * scale)
+        self.catalog_sales = int(20_000 * scale)
+        self.catalog_returns = int(4_000 * scale)
+        self.web_sales = int(20_000 * scale)
+        self.web_returns = int(4_000 * scale)
+        self.inventory = int(10_000 * scale)
+
+    def partition_rows(self, total: int) -> int:
+        """Rows per fact partition: roughly 32 partitions per table."""
+        return max(256, total // 32)
+
+
+def _money(rng: np.random.Generator, n: int, low: float, high: float) -> list[float]:
+    return [round(float(v), 2) for v in rng.uniform(low, high, n)]
+
+
+def _with_nulls(rng: np.random.Generator, values: list, fraction: float) -> list:
+    if fraction <= 0:
+        return list(values)
+    mask = rng.random(len(values)) < fraction
+    return [None if m else v for v, m in zip(values, mask)]
+
+
+def _pick(rng: np.random.Generator, options: list, n: int) -> list:
+    idx = rng.integers(0, len(options), n)
+    return [options[i] for i in idx]
+
+
+def generate_dataset(scale: float = 1.0, seed: int = 7) -> Store:
+    """Generate the full dataset into an in-memory :class:`Store`."""
+    sizes = _TableSizes(scale)
+    store = Store()
+
+    # --- calendar dimensions -------------------------------------------------
+    days = (LAST_DATE - FIRST_DATE).days + 1
+    dates = [FIRST_DATE + datetime.timedelta(days=i) for i in range(days)]
+    store.put(
+        StoredTable.from_columns(
+            S.DATE_DIM,
+            {
+                "d_date_sk": [DATE_SK_BASE + i for i in range(days)],
+                "d_year": [d.year for d in dates],
+                "d_moy": [d.month for d in dates],
+                "d_dom": [d.day for d in dates],
+                "d_month_seq": [month_seq(d.year, d.month) for d in dates],
+                "d_day_name": [_DAY_NAMES[d.weekday()] for d in dates],
+            },
+        )
+    )
+    minutes = 24 * 60
+    store.put(
+        StoredTable.from_columns(
+            S.TIME_DIM,
+            {
+                "t_time_sk": list(range(minutes)),
+                "t_hour": [i // 60 for i in range(minutes)],
+                "t_minute": [i % 60 for i in range(minutes)],
+            },
+        )
+    )
+
+    # --- entity dimensions ----------------------------------------------------
+    rng = np.random.default_rng(seed)
+    n = sizes.item
+    store.put(
+        StoredTable.from_columns(
+            S.ITEM,
+            {
+                "i_item_sk": list(range(1, n + 1)),
+                "i_item_id": [f"AAAAAAAA{i:08d}" for i in range(1, n + 1)],
+                "i_item_desc": [f"item description {i}" for i in range(1, n + 1)],
+                "i_brand_id": [int(v) for v in rng.integers(1, 1000, n)],
+                "i_brand": [f"brand#{int(v)}" for v in rng.integers(1, 100, n)],
+                "i_category_id": [int(v) for v in rng.integers(1, len(_CATEGORIES) + 1, n)],
+                "i_category": _pick(rng, _CATEGORIES, n),
+                "i_size": _pick(rng, _SIZES, n),
+                "i_color": _pick(rng, _COLORS, n),
+                "i_current_price": _money(rng, n, 0.5, 200.0),
+                "i_manufact_id": [int(v) for v in rng.integers(1, 100, n)],
+            },
+        )
+    )
+
+    n = sizes.store
+    store.put(
+        StoredTable.from_columns(
+            S.STORE,
+            {
+                "s_store_sk": list(range(1, n + 1)),
+                "s_store_id": [f"S{i:09d}" for i in range(1, n + 1)],
+                "s_store_name": [f"store {i}" for i in range(1, n + 1)],
+                "s_state": _pick(rng, _STATES, n),
+                "s_city": [f"city {int(v)}" for v in rng.integers(1, 30, n)],
+            },
+        )
+    )
+
+    n = sizes.customer_address
+    store.put(
+        StoredTable.from_columns(
+            S.CUSTOMER_ADDRESS,
+            {
+                "ca_address_sk": list(range(1, n + 1)),
+                "ca_state": _pick(rng, _STATES, n),
+                "ca_city": [f"city {int(v)}" for v in rng.integers(1, 60, n)],
+                "ca_country": ["United States"] * n,
+            },
+        )
+    )
+
+    n = sizes.customer
+    store.put(
+        StoredTable.from_columns(
+            S.CUSTOMER,
+            {
+                "c_customer_sk": list(range(1, n + 1)),
+                "c_customer_id": [f"C{i:09d}" for i in range(1, n + 1)],
+                "c_first_name": _pick(rng, _FIRST_NAMES, n),
+                "c_last_name": _pick(rng, _LAST_NAMES, n),
+                "c_current_addr_sk": [
+                    int(v) for v in rng.integers(1, sizes.customer_address + 1, n)
+                ],
+            },
+        )
+    )
+
+    n = sizes.household_demographics
+    store.put(
+        StoredTable.from_columns(
+            S.HOUSEHOLD_DEMOGRAPHICS,
+            {
+                "hd_demo_sk": list(range(1, n + 1)),
+                "hd_dep_count": [int(v) for v in rng.integers(0, 10, n)],
+                "hd_vehicle_count": [int(v) for v in rng.integers(0, 5, n)],
+            },
+        )
+    )
+
+    n = sizes.web_site
+    store.put(
+        StoredTable.from_columns(
+            S.WEB_SITE,
+            {
+                "web_site_sk": list(range(1, n + 1)),
+                "web_site_id": [f"W{i:09d}" for i in range(1, n + 1)],
+                "web_company_name": [f"pri company {i}" for i in range(1, n + 1)],
+            },
+        )
+    )
+
+    n = sizes.warehouse
+    store.put(
+        StoredTable.from_columns(
+            S.WAREHOUSE,
+            {
+                "w_warehouse_sk": list(range(1, n + 1)),
+                "w_warehouse_name": [f"warehouse {i}" for i in range(1, n + 1)],
+                "w_state": _pick(rng, _STATES, n),
+            },
+        )
+    )
+
+    store.put(
+        StoredTable.from_columns(
+            S.REASON,
+            {
+                "r_reason_sk": list(range(1, sizes.reason + 1)),
+                "r_reason_desc": list(_REASONS),
+            },
+        )
+    )
+
+    # --- fact tables ------------------------------------------------------
+    def sorted_dates(count: int, gen: np.random.Generator) -> list[int]:
+        picks = gen.integers(0, days, count)
+        picks.sort()
+        return [DATE_SK_BASE + int(v) for v in picks]
+
+    rng = np.random.default_rng(seed + 101)
+    n = sizes.store_sales
+    ss_dates = sorted_dates(n, rng)
+    quantities = [int(v) for v in rng.integers(1, 101, n)]
+    list_price = _money(rng, n, 1.0, 200.0)
+    sales_price = [round(lp * float(f), 2) for lp, f in zip(list_price, rng.uniform(0.2, 1.0, n))]
+    store.put(
+        StoredTable.from_columns(
+            S.STORE_SALES,
+            {
+                "ss_sold_date_sk": ss_dates,
+                "ss_sold_time_sk": [int(v) for v in rng.integers(0, minutes, n)],
+                "ss_item_sk": [int(v) for v in rng.integers(1, sizes.item + 1, n)],
+                "ss_customer_sk": _with_nulls(
+                    rng, [int(v) for v in rng.integers(1, sizes.customer + 1, n)], 0.02
+                ),
+                "ss_hdemo_sk": _with_nulls(
+                    rng,
+                    [int(v) for v in rng.integers(1, sizes.household_demographics + 1, n)],
+                    0.02,
+                ),
+                "ss_addr_sk": _with_nulls(
+                    rng, [int(v) for v in rng.integers(1, sizes.customer_address + 1, n)], 0.02
+                ),
+                "ss_store_sk": [int(v) for v in rng.integers(1, sizes.store + 1, n)],
+                "ss_ticket_number": list(range(1, n + 1)),
+                "ss_quantity": quantities,
+                "ss_wholesale_cost": _money(rng, n, 1.0, 100.0),
+                "ss_list_price": list_price,
+                "ss_sales_price": sales_price,
+                "ss_ext_discount_amt": _money(rng, n, 0.0, 1000.0),
+                "ss_ext_sales_price": [round(q * sp, 2) for q, sp in zip(quantities, sales_price)],
+                "ss_coupon_amt": _money(rng, n, 0.0, 500.0),
+                "ss_net_profit": _money(rng, n, -500.0, 1500.0),
+            },
+            partition_rows=sizes.partition_rows(n),
+        )
+    )
+
+    rng = np.random.default_rng(seed + 102)
+    n = sizes.store_returns
+    store.put(
+        StoredTable.from_columns(
+            S.STORE_RETURNS,
+            {
+                "sr_returned_date_sk": sorted_dates(n, rng),
+                "sr_item_sk": [int(v) for v in rng.integers(1, sizes.item + 1, n)],
+                "sr_customer_sk": _with_nulls(
+                    rng, [int(v) for v in rng.integers(1, sizes.customer + 1, n)], 0.02
+                ),
+                "sr_store_sk": [int(v) for v in rng.integers(1, sizes.store + 1, n)],
+                "sr_ticket_number": [int(v) for v in rng.integers(1, sizes.store_sales + 1, n)],
+                "sr_return_quantity": [int(v) for v in rng.integers(1, 20, n)],
+                "sr_return_amt": _money(rng, n, 1.0, 2000.0),
+                "sr_fee": _money(rng, n, 0.0, 100.0),
+            },
+            partition_rows=sizes.partition_rows(n),
+        )
+    )
+
+    rng = np.random.default_rng(seed + 103)
+    n = sizes.catalog_sales
+    cs_qty = [int(v) for v in rng.integers(1, 101, n)]
+    store.put(
+        StoredTable.from_columns(
+            S.CATALOG_SALES,
+            {
+                "cs_sold_date_sk": sorted_dates(n, rng),
+                "cs_item_sk": [int(v) for v in rng.integers(1, sizes.item + 1, n)],
+                "cs_bill_customer_sk": [int(v) for v in rng.integers(1, sizes.customer + 1, n)],
+                "cs_quantity": cs_qty,
+                "cs_list_price": _money(rng, n, 1.0, 300.0),
+                "cs_sales_price": _money(rng, n, 1.0, 300.0),
+                "cs_ext_discount_amt": _money(rng, n, 0.0, 1000.0),
+            },
+            partition_rows=sizes.partition_rows(n),
+        )
+    )
+
+    rng = np.random.default_rng(seed + 104)
+    n = sizes.catalog_returns
+    store.put(
+        StoredTable.from_columns(
+            S.CATALOG_RETURNS,
+            {
+                "cr_returned_date_sk": sorted_dates(n, rng),
+                "cr_item_sk": [int(v) for v in rng.integers(1, sizes.item + 1, n)],
+                "cr_order_number": [int(v) for v in rng.integers(1, max(2, n // 2), n)],
+                "cr_returning_customer_sk": [
+                    int(v) for v in rng.integers(1, sizes.customer + 1, n)
+                ],
+                "cr_return_amount": _money(rng, n, 1.0, 2000.0),
+            },
+            partition_rows=sizes.partition_rows(n),
+        )
+    )
+
+    rng = np.random.default_rng(seed + 105)
+    n = sizes.web_sales
+    n_orders = max(2, n // 3)
+    store.put(
+        StoredTable.from_columns(
+            S.WEB_SALES,
+            {
+                "ws_sold_date_sk": sorted_dates(n, rng),
+                "ws_item_sk": [int(v) for v in rng.integers(1, sizes.item + 1, n)],
+                "ws_bill_customer_sk": [int(v) for v in rng.integers(1, sizes.customer + 1, n)],
+                "ws_quantity": [int(v) for v in rng.integers(1, 101, n)],
+                "ws_list_price": _money(rng, n, 1.0, 300.0),
+                "ws_sales_price": _money(rng, n, 1.0, 300.0),
+                "ws_order_number": [int(v) for v in rng.integers(1, n_orders + 1, n)],
+                "ws_warehouse_sk": [int(v) for v in rng.integers(1, sizes.warehouse + 1, n)],
+                "ws_ship_date_sk": sorted_dates(n, rng),
+                "ws_ship_addr_sk": [int(v) for v in rng.integers(1, sizes.customer_address + 1, n)],
+                "ws_web_site_sk": [int(v) for v in rng.integers(1, sizes.web_site + 1, n)],
+                "ws_ext_ship_cost": _money(rng, n, 0.0, 500.0),
+                "ws_net_profit": _money(rng, n, -500.0, 1500.0),
+            },
+            partition_rows=sizes.partition_rows(n),
+        )
+    )
+
+    rng = np.random.default_rng(seed + 106)
+    n = sizes.web_returns
+    store.put(
+        StoredTable.from_columns(
+            S.WEB_RETURNS,
+            {
+                "wr_returned_date_sk": sorted_dates(n, rng),
+                "wr_item_sk": [int(v) for v in rng.integers(1, sizes.item + 1, n)],
+                "wr_order_number": [int(v) for v in rng.integers(1, n_orders + 1, n)],
+                "wr_returning_customer_sk": [
+                    int(v) for v in rng.integers(1, sizes.customer + 1, n)
+                ],
+                "wr_returning_addr_sk": [
+                    int(v) for v in rng.integers(1, sizes.customer_address + 1, n)
+                ],
+                "wr_return_amt": _money(rng, n, 1.0, 2000.0),
+            },
+            partition_rows=sizes.partition_rows(n),
+        )
+    )
+
+    rng = np.random.default_rng(seed + 107)
+    n = sizes.inventory
+    store.put(
+        StoredTable.from_columns(
+            S.INVENTORY,
+            {
+                "inv_date_sk": sorted_dates(n, rng),
+                "inv_item_sk": [int(v) for v in rng.integers(1, sizes.item + 1, n)],
+                "inv_warehouse_sk": [int(v) for v in rng.integers(1, sizes.warehouse + 1, n)],
+                "inv_quantity_on_hand": [int(v) for v in rng.integers(0, 1000, n)],
+            },
+            partition_rows=sizes.partition_rows(n),
+        )
+    )
+
+    return store

@@ -1,0 +1,259 @@
+"""TPC-DS schema subset.
+
+Table definitions for the tables exercised by the paper's studied
+queries (Q01, Q09, Q23, Q28, Q30, Q65, Q88, Q95) and the proxy
+workload.  As in the paper's experimental setup, the seven largest
+tables (store_sales, store_returns, catalog_sales, catalog_returns,
+web_sales, web_returns, inventory) are partitioned by their date
+surrogate key; the remaining tables are unpartitioned.
+
+Column subsets follow the real TPC-DS column names and types so the
+query texts read like the benchmark's own.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.types import DataType as T
+from repro.catalog.catalog import ColumnDef, TableDef
+
+_I = T.INTEGER
+_D = T.DOUBLE
+_S = T.STRING
+
+
+def _cols(*specs: tuple) -> tuple[ColumnDef, ...]:
+    out = []
+    for spec in specs:
+        name, dtype = spec[0], spec[1]
+        avg = spec[2] if len(spec) > 2 else None
+        out.append(ColumnDef(name, dtype, avg))
+    return tuple(out)
+
+
+DATE_DIM = TableDef(
+    "date_dim",
+    _cols(
+        ("d_date_sk", _I),
+        ("d_year", _I),
+        ("d_moy", _I),
+        ("d_dom", _I),
+        ("d_month_seq", _I),
+        ("d_day_name", _S, 8.0),
+    ),
+    primary_key=("d_date_sk",),
+)
+
+TIME_DIM = TableDef(
+    "time_dim",
+    _cols(("t_time_sk", _I), ("t_hour", _I), ("t_minute", _I)),
+    primary_key=("t_time_sk",),
+)
+
+ITEM = TableDef(
+    "item",
+    _cols(
+        ("i_item_sk", _I),
+        ("i_item_id", _S, 16.0),
+        ("i_item_desc", _S, 40.0),
+        ("i_brand_id", _I),
+        ("i_brand", _S, 16.0),
+        ("i_category_id", _I),
+        ("i_category", _S, 10.0),
+        ("i_size", _S, 4.0),
+        ("i_color", _S, 8.0),
+        ("i_current_price", _D),
+        ("i_manufact_id", _I),
+    ),
+    primary_key=("i_item_sk",),
+)
+
+STORE = TableDef(
+    "store",
+    _cols(
+        ("s_store_sk", _I),
+        ("s_store_id", _S, 16.0),
+        ("s_store_name", _S, 10.0),
+        ("s_state", _S, 2.0),
+        ("s_city", _S, 10.0),
+    ),
+    primary_key=("s_store_sk",),
+)
+
+CUSTOMER = TableDef(
+    "customer",
+    _cols(
+        ("c_customer_sk", _I),
+        ("c_customer_id", _S, 16.0),
+        ("c_first_name", _S, 10.0),
+        ("c_last_name", _S, 12.0),
+        ("c_current_addr_sk", _I),
+    ),
+    primary_key=("c_customer_sk",),
+)
+
+CUSTOMER_ADDRESS = TableDef(
+    "customer_address",
+    _cols(
+        ("ca_address_sk", _I),
+        ("ca_state", _S, 2.0),
+        ("ca_city", _S, 10.0),
+        ("ca_country", _S, 13.0),
+    ),
+    primary_key=("ca_address_sk",),
+)
+
+HOUSEHOLD_DEMOGRAPHICS = TableDef(
+    "household_demographics",
+    _cols(("hd_demo_sk", _I), ("hd_dep_count", _I), ("hd_vehicle_count", _I)),
+    primary_key=("hd_demo_sk",),
+)
+
+WEB_SITE = TableDef(
+    "web_site",
+    _cols(("web_site_sk", _I), ("web_site_id", _S, 16.0), ("web_company_name", _S, 10.0)),
+    primary_key=("web_site_sk",),
+)
+
+WAREHOUSE = TableDef(
+    "warehouse",
+    _cols(("w_warehouse_sk", _I), ("w_warehouse_name", _S, 16.0), ("w_state", _S, 2.0)),
+    primary_key=("w_warehouse_sk",),
+)
+
+REASON = TableDef(
+    "reason",
+    _cols(("r_reason_sk", _I), ("r_reason_desc", _S, 20.0)),
+    primary_key=("r_reason_sk",),
+)
+
+STORE_SALES = TableDef(
+    "store_sales",
+    _cols(
+        ("ss_sold_date_sk", _I),
+        ("ss_sold_time_sk", _I),
+        ("ss_item_sk", _I),
+        ("ss_customer_sk", _I),
+        ("ss_hdemo_sk", _I),
+        ("ss_addr_sk", _I),
+        ("ss_store_sk", _I),
+        ("ss_ticket_number", _I),
+        ("ss_quantity", _I),
+        ("ss_wholesale_cost", _D),
+        ("ss_list_price", _D),
+        ("ss_sales_price", _D),
+        ("ss_ext_discount_amt", _D),
+        ("ss_ext_sales_price", _D),
+        ("ss_coupon_amt", _D),
+        ("ss_net_profit", _D),
+    ),
+    partition_column="ss_sold_date_sk",
+)
+
+STORE_RETURNS = TableDef(
+    "store_returns",
+    _cols(
+        ("sr_returned_date_sk", _I),
+        ("sr_item_sk", _I),
+        ("sr_customer_sk", _I),
+        ("sr_store_sk", _I),
+        ("sr_ticket_number", _I),
+        ("sr_return_quantity", _I),
+        ("sr_return_amt", _D),
+        ("sr_fee", _D),
+    ),
+    partition_column="sr_returned_date_sk",
+)
+
+CATALOG_SALES = TableDef(
+    "catalog_sales",
+    _cols(
+        ("cs_sold_date_sk", _I),
+        ("cs_item_sk", _I),
+        ("cs_bill_customer_sk", _I),
+        ("cs_quantity", _I),
+        ("cs_list_price", _D),
+        ("cs_sales_price", _D),
+        ("cs_ext_discount_amt", _D),
+    ),
+    partition_column="cs_sold_date_sk",
+)
+
+CATALOG_RETURNS = TableDef(
+    "catalog_returns",
+    _cols(
+        ("cr_returned_date_sk", _I),
+        ("cr_item_sk", _I),
+        ("cr_order_number", _I),
+        ("cr_returning_customer_sk", _I),
+        ("cr_return_amount", _D),
+    ),
+    partition_column="cr_returned_date_sk",
+)
+
+WEB_SALES = TableDef(
+    "web_sales",
+    _cols(
+        ("ws_sold_date_sk", _I),
+        ("ws_item_sk", _I),
+        ("ws_bill_customer_sk", _I),
+        ("ws_quantity", _I),
+        ("ws_list_price", _D),
+        ("ws_sales_price", _D),
+        ("ws_order_number", _I),
+        ("ws_warehouse_sk", _I),
+        ("ws_ship_date_sk", _I),
+        ("ws_ship_addr_sk", _I),
+        ("ws_web_site_sk", _I),
+        ("ws_ext_ship_cost", _D),
+        ("ws_net_profit", _D),
+    ),
+    partition_column="ws_sold_date_sk",
+)
+
+WEB_RETURNS = TableDef(
+    "web_returns",
+    _cols(
+        ("wr_returned_date_sk", _I),
+        ("wr_item_sk", _I),
+        ("wr_order_number", _I),
+        ("wr_returning_customer_sk", _I),
+        ("wr_returning_addr_sk", _I),
+        ("wr_return_amt", _D),
+    ),
+    partition_column="wr_returned_date_sk",
+)
+
+INVENTORY = TableDef(
+    "inventory",
+    _cols(
+        ("inv_date_sk", _I),
+        ("inv_item_sk", _I),
+        ("inv_warehouse_sk", _I),
+        ("inv_quantity_on_hand", _I),
+    ),
+    partition_column="inv_date_sk",
+)
+
+#: All tables, in generation order (dimensions before facts).
+ALL_TABLES: tuple[TableDef, ...] = (
+    DATE_DIM,
+    TIME_DIM,
+    ITEM,
+    STORE,
+    CUSTOMER,
+    CUSTOMER_ADDRESS,
+    HOUSEHOLD_DEMOGRAPHICS,
+    WEB_SITE,
+    WAREHOUSE,
+    REASON,
+    STORE_SALES,
+    STORE_RETURNS,
+    CATALOG_SALES,
+    CATALOG_RETURNS,
+    WEB_SALES,
+    WEB_RETURNS,
+    INVENTORY,
+)
+
+#: The paper partitions "the largest 7 tables" by date columns.
+PARTITIONED_TABLES = tuple(t.name for t in ALL_TABLES if t.partition_column is not None)

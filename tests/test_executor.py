@@ -1,0 +1,403 @@
+"""Unit tests for the streaming executor, one operator at a time.
+
+Plans are built directly against a small hand-made store so expected
+row sets are exact.
+"""
+
+import pytest
+
+from repro.algebra.expressions import (
+    TRUE,
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    integer,
+    string,
+)
+from repro.algebra.operators import (
+    AggregateAssignment,
+    EnforceSingleRow,
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    Limit,
+    MarkDistinct,
+    Project,
+    ScalarApply,
+    Scan,
+    Sort,
+    SortKey,
+    UnionAll,
+    Values,
+    Window,
+    WindowAssignment,
+)
+from repro.algebra.schema import Column, ColumnAllocator
+from repro.algebra.types import DataType
+from repro.engine.executor import execute
+from repro.engine.metrics import RunContext
+from repro.errors import ExecutionError
+
+I = DataType.INTEGER
+D = DataType.DOUBLE
+S = DataType.STRING
+
+alloc = ColumnAllocator(start=1000)
+
+
+def scan_people(store):
+    cols = (
+        alloc.fresh("id", I),
+        alloc.fresh("fname", S),
+        alloc.fresh("lname", S),
+        alloc.fresh("age", I),
+        alloc.fresh("city_id", I),
+    )
+    return Scan("people", cols, ("id", "fname", "lname", "age", "city_id"))
+
+
+def scan_orders(store):
+    cols = (
+        alloc.fresh("order_id", I),
+        alloc.fresh("person_id", I),
+        alloc.fresh("amount", D),
+        alloc.fresh("day", I),
+    )
+    return Scan("orders", cols, ("order_id", "person_id", "amount", "day"))
+
+
+def scan_cities(store):
+    cols = (alloc.fresh("city_id", I), alloc.fresh("city", S))
+    return Scan("cities", cols, ("city_id", "city"))
+
+
+def run(plan, store):
+    ctx = RunContext(store)
+    return list(execute(plan, ctx)), ctx
+
+
+class TestScan:
+    def test_full_scan(self, people_store):
+        rows, ctx = run(scan_people(people_store), people_store)
+        assert len(rows) == 6
+        assert ctx.metrics.bytes_scanned > 0
+
+    def test_scan_predicate(self, people_store):
+        s = scan_people(people_store)
+        pred = Comparison(">", ColumnRef(s.columns[3]), integer(30))
+        rows, _ = run(s.with_predicate(pred), people_store)
+        assert {r[0] for r in rows} == {1, 3, 4}
+
+    def test_partition_pruning_reduces_bytes(self, people_store):
+        # orders is partitioned by day with one partition per value run.
+        store = people_store
+        full = scan_orders(store)
+        _, ctx_full = run(full, store)
+        pruned = full.with_predicate(
+            Comparison("=", ColumnRef(full.columns[3]), integer(1))
+        )
+        rows, ctx_pruned = run(pruned, store)
+        assert all(r[3] == 1 for r in rows)
+        # All data sits in one partition here, so pruning cannot read more.
+        assert ctx_pruned.metrics.bytes_scanned <= ctx_full.metrics.bytes_scanned
+
+    def test_column_subset_costs_less(self, people_store):
+        s = scan_people(people_store)
+        narrow = Scan("people", s.columns[:1], ("id",))
+        _, wide_ctx = run(s, people_store)
+        _, narrow_ctx = run(narrow, people_store)
+        assert narrow_ctx.metrics.bytes_scanned < wide_ctx.metrics.bytes_scanned
+
+
+class TestFilterProject:
+    def test_filter_drops_null_and_false(self, people_store):
+        s = scan_people(people_store)
+        f = Filter(s, Comparison(">", ColumnRef(s.columns[3]), integer(30)))
+        rows, _ = run(f, people_store)
+        # age NULL (id 6) must not pass
+        assert {r[0] for r in rows} == {1, 3, 4}
+
+    def test_project_computes(self, people_store):
+        s = scan_people(people_store)
+        target = alloc.fresh("age2", I)
+        p = Project(s, ((target, Arithmetic("*", ColumnRef(s.columns[3]), integer(2))),))
+        rows, _ = run(p, people_store)
+        assert (68,) in rows and (None,) in rows
+
+
+class TestJoins:
+    def test_inner_hash_join(self, people_store):
+        left = scan_people(people_store)
+        right = scan_cities(people_store)
+        cond = Comparison("=", ColumnRef(left.columns[4]), ColumnRef(right.columns[0]))
+        rows, _ = run(Join(JoinKind.INNER, left, right, cond), people_store)
+        assert len(rows) == 5  # id 5 has NULL city_id
+
+    def test_null_keys_never_match(self, people_store):
+        left = scan_people(people_store)
+        right = scan_cities(people_store)
+        cond = Comparison("=", ColumnRef(left.columns[4]), ColumnRef(right.columns[0]))
+        rows, _ = run(Join(JoinKind.INNER, left, right, cond), people_store)
+        assert all(r[0] != 5 for r in rows)
+
+    def test_left_join_pads(self, people_store):
+        left = scan_people(people_store)
+        right = scan_cities(people_store)
+        cond = Comparison("=", ColumnRef(left.columns[4]), ColumnRef(right.columns[0]))
+        rows, _ = run(Join(JoinKind.LEFT, left, right, cond), people_store)
+        assert len(rows) == 6
+        padded = [r for r in rows if r[0] == 5]
+        assert padded and padded[0][-1] is None
+
+    def test_semi_and_anti(self, people_store):
+        left = scan_people(people_store)
+        right = scan_orders(people_store)
+        cond = Comparison("=", ColumnRef(left.columns[0]), ColumnRef(right.columns[1]))
+        semi_rows, _ = run(Join(JoinKind.SEMI, left, right, cond), people_store)
+        assert {r[0] for r in semi_rows} == {1, 2, 3, 5}
+        anti_rows, _ = run(Join(JoinKind.ANTI, left, right, cond), people_store)
+        assert {r[0] for r in anti_rows} == {4, 6}
+
+    def test_cross_join(self, people_store):
+        left = scan_cities(people_store)
+        right = scan_cities(people_store)
+        rows, _ = run(Join(JoinKind.CROSS, left, right), people_store)
+        assert len(rows) == 16
+
+    def test_join_with_residual_condition(self, people_store):
+        left = scan_people(people_store)
+        right = scan_orders(people_store)
+        cond = And(
+            (
+                Comparison("=", ColumnRef(left.columns[0]), ColumnRef(right.columns[1])),
+                Comparison(">", ColumnRef(right.columns[2]), Literal_50()),
+            )
+        )
+        rows, _ = run(Join(JoinKind.INNER, left, right, cond), people_store)
+        assert {r[5] for r in rows} == {101, 103}
+
+    def test_non_equi_join_nested_loop(self, people_store):
+        left = scan_cities(people_store)
+        right = scan_cities(people_store)
+        cond = Comparison("<", ColumnRef(left.columns[0]), ColumnRef(right.columns[0]))
+        rows, _ = run(Join(JoinKind.INNER, left, right, cond), people_store)
+        assert len(rows) == 6
+
+    def test_semi_join_condition_true(self, people_store):
+        left = scan_cities(people_store)
+        right = Values((alloc.fresh("x", I),), ((1,),))
+        rows, _ = run(Join(JoinKind.SEMI, left, right, TRUE), people_store)
+        assert len(rows) == 4
+        empty = Values((alloc.fresh("x", I),), ())
+        rows, _ = run(Join(JoinKind.SEMI, left, empty, TRUE), people_store)
+        assert rows == []
+
+    def test_build_side_state_tracked(self, people_store):
+        left = scan_people(people_store)
+        right = scan_cities(people_store)
+        cond = Comparison("=", ColumnRef(left.columns[4]), ColumnRef(right.columns[0]))
+        _, ctx = run(Join(JoinKind.INNER, left, right, cond), people_store)
+        assert ctx.metrics.peak_state_rows >= 4
+
+
+def Literal_50():
+    from repro.algebra.expressions import double
+
+    return double(50.0)
+
+
+class TestAggregation:
+    def test_group_by_with_mask(self, people_store):
+        s = scan_people(people_store)
+        total = alloc.fresh("n", I)
+        smiths = alloc.fresh("smiths", I)
+        aggs = (
+            AggregateAssignment(total, "count", None),
+            AggregateAssignment(
+                smiths,
+                "count",
+                None,
+                Comparison("=", ColumnRef(s.columns[2]), string("Smith")),
+            ),
+        )
+        g = GroupBy(s, (), aggs)
+        rows, _ = run(g, people_store)
+        assert rows == [(6, 2)]
+
+    def test_group_by_keys(self, people_store):
+        s = scan_people(people_store)
+        n = alloc.fresh("n", I)
+        g = GroupBy(s, (s.columns[2],), (AggregateAssignment(n, "count", None),))
+        rows, _ = run(g, people_store)
+        assert ("Smith", 2) in rows and len(rows) == 5
+
+    def test_scalar_group_by_on_empty_input(self, people_store):
+        s = scan_people(people_store)
+        empty = Filter(s, Comparison(">", ColumnRef(s.columns[0]), integer(100)))
+        n = alloc.fresh("n", I)
+        total = alloc.fresh("t", I)
+        g = GroupBy(
+            empty,
+            (),
+            (
+                AggregateAssignment(n, "count", None),
+                AggregateAssignment(total, "sum", ColumnRef(s.columns[3])),
+            ),
+        )
+        rows, _ = run(g, people_store)
+        assert rows == [(0, None)]
+
+    def test_keyed_group_by_on_empty_input(self, people_store):
+        s = scan_people(people_store)
+        empty = Filter(s, Comparison(">", ColumnRef(s.columns[0]), integer(100)))
+        g = GroupBy(empty, (s.columns[2],), ())
+        rows, _ = run(g, people_store)
+        assert rows == []
+
+    def test_null_group_key_forms_group(self, people_store):
+        s = scan_people(people_store)
+        n = alloc.fresh("n", I)
+        g = GroupBy(s, (s.columns[4],), (AggregateAssignment(n, "count", None),))
+        rows, _ = run(g, people_store)
+        assert (None, 1) in rows
+
+    def test_distinct_aggregate_native(self, people_store):
+        s = scan_people(people_store)
+        n = alloc.fresh("n", I)
+        g = GroupBy(
+            s, (), (AggregateAssignment(n, "count", ColumnRef(s.columns[2]), TRUE, True),)
+        )
+        rows, _ = run(g, people_store)
+        assert rows == [(5,)]
+
+
+class TestMarkDistinct:
+    def test_marks_first_occurrence(self, people_store):
+        s = scan_people(people_store)
+        marker = alloc.fresh("d", DataType.BOOLEAN)
+        m = MarkDistinct(s, (s.columns[2],), marker)
+        rows, _ = run(m, people_store)
+        flags = [r[-1] for r in rows]
+        assert flags == [True, False, True, True, True, True]
+
+    def test_chain_markers_independent(self, people_store):
+        s = scan_people(people_store)
+        m1 = alloc.fresh("d1", DataType.BOOLEAN)
+        m2 = alloc.fresh("d2", DataType.BOOLEAN)
+        chain = MarkDistinct(
+            MarkDistinct(s, (s.columns[2],), m1), (s.columns[1],), m2
+        )
+        rows, _ = run(chain, people_store)
+        lname_flags = [r[-2] for r in rows]
+        fname_flags = [r[-1] for r in rows]
+        assert lname_flags == [True, False, True, True, True, True]
+        # fname: John, Jane, John(dup), Alma, Omar, None
+        assert fname_flags == [True, True, False, True, True, True]
+
+    def test_native_mask(self, people_store):
+        s = scan_people(people_store)
+        marker = alloc.fresh("d", DataType.BOOLEAN)
+        mask = Comparison("=", ColumnRef(s.columns[2]), string("Smith"))
+        m = MarkDistinct(s, (s.columns[1],), marker, mask)
+        rows, _ = run(m, people_store)
+        # Only Smith rows compete for first occurrence of fname.
+        assert [r[-1] for r in rows] == [True, True, False, False, False, False]
+
+
+class TestWindow:
+    def test_partitioned_aggregate(self, people_store):
+        s = scan_people(people_store)
+        target = alloc.fresh("n", I)
+        w = Window(s, (s.columns[4],), (WindowAssignment(target, "count", None),))
+        rows, _ = run(w, people_store)
+        by_id = {r[0]: r[-1] for r in rows}
+        assert by_id[1] == 2 and by_id[2] == 2  # city 10
+        assert by_id[5] == 1  # NULL partition
+
+    def test_window_avg(self, people_store):
+        s = scan_people(people_store)
+        target = alloc.fresh("avg_age", D)
+        w = Window(
+            s, (s.columns[4],), (WindowAssignment(target, "avg", ColumnRef(s.columns[3])),)
+        )
+        rows, _ = run(w, people_store)
+        by_id = {r[0]: r[-1] for r in rows}
+        assert by_id[1] == 31.0 and by_id[3] == 53.0
+
+
+class TestPlumbing:
+    def test_union_all_positional(self, people_store):
+        v1 = Values((alloc.fresh("a", I), alloc.fresh("b", I)), ((1, 2),))
+        v2 = Values((alloc.fresh("c", I), alloc.fresh("d", I)), ((3, 4),))
+        out = (alloc.fresh("x", I),)
+        union = UnionAll((v1, v2), out, ((v1.columns[1],), (v2.columns[0],)))
+        rows, _ = run(union, people_store)
+        assert rows == [(2,), (3,)]
+
+    def test_sort_nulls_last_ascending(self, people_store):
+        s = scan_people(people_store)
+        plan = Sort(s, (SortKey(ColumnRef(s.columns[3]), ascending=True),))
+        rows, _ = run(plan, people_store)
+        assert rows[-1][3] is None
+        ages = [r[3] for r in rows[:-1]]
+        assert ages == sorted(ages)
+
+    def test_sort_descending_nulls_first(self, people_store):
+        s = scan_people(people_store)
+        plan = Sort(s, (SortKey(ColumnRef(s.columns[3]), ascending=False),))
+        rows, _ = run(plan, people_store)
+        assert rows[0][3] is None
+
+    def test_multi_key_sort(self, people_store):
+        s = scan_people(people_store)
+        plan = Sort(
+            s,
+            (
+                SortKey(ColumnRef(s.columns[2])),
+                SortKey(ColumnRef(s.columns[1])),
+            ),
+        )
+        rows, _ = run(plan, people_store)
+        smiths = [r for r in rows if r[2] == "Smith"]
+        assert [r[1] for r in smiths] == ["Jane", "John"]
+
+    def test_limit(self, people_store):
+        s = scan_people(people_store)
+        rows, _ = run(Limit(s, 2), people_store)
+        assert len(rows) == 2
+
+    def test_enforce_single_row(self, people_store):
+        one = Values((alloc.fresh("x", I),), ((5,),))
+        rows, _ = run(EnforceSingleRow(one), people_store)
+        assert rows == [(5,)]
+
+    def test_enforce_single_row_empty_yields_nulls(self, people_store):
+        empty = Values((alloc.fresh("x", I), alloc.fresh("y", I)), ())
+        rows, _ = run(EnforceSingleRow(empty), people_store)
+        assert rows == [(None, None)]
+
+    def test_enforce_single_row_rejects_many(self, people_store):
+        many = Values((alloc.fresh("x", I),), ((1,), (2,)))
+        with pytest.raises(ExecutionError):
+            run(EnforceSingleRow(many), people_store)
+
+    def test_scalar_apply_correlated(self, people_store):
+        # For each person: total order amount (correlated nested loop).
+        people = scan_people(people_store)
+        orders = scan_orders(people_store)
+        total = alloc.fresh("total", D)
+        sub = GroupBy(
+            Filter(
+                orders,
+                Comparison("=", ColumnRef(orders.columns[1]), ColumnRef(people.columns[0])),
+            ),
+            (),
+            (AggregateAssignment(total, "sum", ColumnRef(orders.columns[2])),),
+        )
+        output = alloc.fresh("order_total", D)
+        apply = ScalarApply(people, sub, total, output)
+        rows, _ = run(apply, people_store)
+        by_id = {r[0]: r[-1] for r in rows}
+        assert by_id[1] == 100.0 and by_id[3] == 150.0 and by_id[4] is None

@@ -1,0 +1,83 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(sql: str):
+    return [(t.type, t.text) for t in tokenize(sql)[:-1]]
+
+
+class TestTokens:
+    def test_identifiers_and_numbers(self):
+        assert kinds("abc a1 _x 42 3.14") == [
+            (TokenType.IDENT, "abc"),
+            (TokenType.IDENT, "a1"),
+            (TokenType.IDENT, "_x"),
+            (TokenType.NUMBER, "42"),
+            (TokenType.NUMBER, "3.14"),
+        ]
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Weird Name"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].text == "Weird Name"
+
+    def test_operators(self):
+        assert [t for _, t in kinds("a <> b <= c >= d != e")] == [
+            "a", "<>", "b", "<=", "c", ">=", "d", "!=", "e",
+        ]
+
+    def test_punctuation_and_dots(self):
+        texts = [t for _, t in kinds("t.a, (x)")]
+        assert texts == ["t", ".", "a", ",", "(", "x", ")"]
+
+    def test_number_then_dot_identifier(self):
+        # "1.e" should not swallow the dot into the number
+        texts = [t for _, t in kinds("substr(x, 1, 2)")]
+        assert "1" in texts and "2" in texts
+
+    def test_eof_token_present(self):
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+
+class TestCommentsAndErrors:
+    def test_line_comment_ignored(self):
+        assert kinds("a -- comment\n b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_block_comment_ignored(self):
+        assert kinds("a /* hi \n there */ b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a /* never closed")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a ; b")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)

@@ -1,0 +1,194 @@
+"""Unit tests for the SQL parser (AST shapes and error reporting)."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast
+from repro.sql.parser import parse
+
+
+def body(sql: str) -> ast.Select:
+    query = parse(sql)
+    assert isinstance(query.body, ast.Select)
+    return query.body
+
+
+class TestSelectStructure:
+    def test_minimal_select(self):
+        select = body("SELECT 1")
+        assert len(select.items) == 1
+        assert isinstance(select.items[0].expr, ast.NumberLit)
+        assert select.from_refs == ()
+
+    def test_select_star_and_qualified_star(self):
+        select = body("SELECT *, t.* FROM t")
+        assert isinstance(select.items[0].expr, ast.Star)
+        assert select.items[1].expr == ast.Star("t")
+
+    def test_aliases_with_and_without_as(self):
+        select = body("SELECT a AS x, b y FROM t")
+        assert select.items[0].alias == "x"
+        assert select.items[1].alias == "y"
+
+    def test_from_comma_list_and_aliases(self):
+        select = body("SELECT 1 FROM a, b t2, c AS t3")
+        names = [(r.name, r.alias) for r in select.from_refs]
+        assert names == [("a", None), ("b", "t2"), ("c", "t3")]
+
+    def test_explicit_joins(self):
+        select = body(
+            "SELECT 1 FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.z CROSS JOIN d"
+        )
+        ref = select.from_refs[0]
+        assert isinstance(ref, ast.JoinedTable) and ref.kind == "cross"
+        assert isinstance(ref.left, ast.JoinedTable) and ref.left.kind == "left"
+        assert ref.left.left.kind == "inner"
+
+    def test_derived_table_with_column_aliases(self):
+        select = body("SELECT 1 FROM (SELECT a FROM t) d(x)")
+        ref = select.from_refs[0]
+        assert isinstance(ref, ast.DerivedTable)
+        assert ref.alias == "d" and ref.column_aliases == ("x",)
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 FROM (SELECT a FROM t)")
+
+    def test_values_table(self):
+        select = body("SELECT tag FROM (VALUES (1), (2)) T(tag)")
+        ref = select.from_refs[0]
+        assert isinstance(ref, ast.ValuesTable)
+        assert len(ref.rows) == 2 and ref.column_aliases == ("tag",)
+
+    def test_where_group_having(self):
+        select = body(
+            "SELECT a, count(*) FROM t WHERE b > 1 GROUP BY a HAVING count(*) > 2"
+        )
+        assert select.where is not None
+        assert len(select.group_by) == 1
+        assert select.having is not None
+
+    def test_distinct(self):
+        assert body("SELECT DISTINCT a FROM t").distinct
+
+    def test_order_by_and_limit(self):
+        query = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10")
+        assert query.limit == 10
+        assert [o.ascending for o in query.order_by] == [False, True]
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t LIMIT 1.5")
+
+    def test_union_all(self):
+        query = parse("SELECT a FROM t UNION ALL SELECT b FROM u UNION ALL SELECT c FROM v")
+        assert isinstance(query.body, ast.UnionAllBody)
+        assert len(query.body.branches) == 3
+
+    def test_with_clause(self):
+        query = parse("WITH x AS (SELECT 1), y AS (SELECT 2) SELECT * FROM x, y")
+        assert [name for name, _ in query.ctes] == ["x", "y"]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 FROM t extra junk ,")
+
+
+class TestExpressions:
+    def expr(self, text: str):
+        return body(f"SELECT {text} FROM t").items[0].expr
+
+    def test_precedence_or_and(self):
+        e = self.expr("a OR b AND c")
+        assert isinstance(e, ast.BinaryOp) and e.op == "OR"
+        assert isinstance(e.right, ast.BinaryOp) and e.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        e = self.expr("a + b * c")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_parenthesized(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_comparison_chain_with_not(self):
+        e = self.expr("NOT a = b")
+        assert isinstance(e, ast.UnaryOp) and e.op == "NOT"
+
+    def test_between(self):
+        e = self.expr("a BETWEEN 1 AND 2 + 3")
+        assert isinstance(e, ast.BetweenExpr) and not e.negated
+        assert isinstance(e.high, ast.BinaryOp)
+
+    def test_not_between(self):
+        e = self.expr("a NOT BETWEEN 1 AND 2")
+        assert isinstance(e, ast.BetweenExpr) and e.negated
+
+    def test_in_list(self):
+        e = self.expr("a IN (1, 2, 3)")
+        assert isinstance(e, ast.InListExpr) and len(e.items) == 3
+
+    def test_in_subquery(self):
+        e = self.expr("a IN (SELECT b FROM u)")
+        assert isinstance(e, ast.InSubqueryExpr)
+
+    def test_not_in(self):
+        assert self.expr("a NOT IN (1)").negated
+
+    def test_like(self):
+        e = self.expr("a LIKE 'J%'")
+        assert isinstance(e, ast.LikeExpr) and e.pattern == "J%"
+
+    def test_like_requires_string(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a LIKE b FROM t")
+
+    def test_is_null_and_is_not_null(self):
+        assert not self.expr("a IS NULL").negated
+        assert self.expr("a IS NOT NULL").negated
+
+    def test_case(self):
+        e = self.expr("CASE WHEN a THEN 1 WHEN b THEN 2 ELSE 3 END")
+        assert isinstance(e, ast.CaseExpr) and len(e.whens) == 2
+
+    def test_case_without_else(self):
+        assert self.expr("CASE WHEN a THEN 1 END").default is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT CASE ELSE 1 END FROM t")
+
+    def test_scalar_subquery(self):
+        e = self.expr("(SELECT max(x) FROM u)")
+        assert isinstance(e, ast.ScalarSubquery)
+
+    def test_exists(self):
+        e = self.expr("EXISTS (SELECT 1 FROM u)")
+        assert isinstance(e, ast.ExistsExpr)
+
+    def test_function_with_distinct_filter_over(self):
+        e = self.expr("count(DISTINCT a) FILTER (WHERE b > 0)")
+        assert isinstance(e, ast.FuncCall)
+        assert e.distinct and e.filter_where is not None
+
+    def test_window_over_partition(self):
+        e = self.expr("avg(a) OVER (PARTITION BY b, c)")
+        assert e.over is not None and len(e.over.partition_by) == 2
+
+    def test_count_star(self):
+        e = self.expr("count(*)")
+        assert isinstance(e.args[0], ast.Star)
+
+    def test_qualified_identifier(self):
+        e = self.expr("t1.a")
+        assert isinstance(e, ast.Identifier) and e.qualifier == "t1" and e.column == "a"
+
+    def test_unary_minus(self):
+        e = self.expr("-a")
+        assert isinstance(e, ast.UnaryOp) and e.op == "-"
+
+    def test_literals(self):
+        assert isinstance(self.expr("NULL"), ast.NullLit)
+        assert self.expr("TRUE") == ast.BoolLit(True)
+        assert self.expr("'txt'") == ast.StringLit("txt")
+        assert self.expr("1.5") == ast.NumberLit("1.5")

@@ -1,0 +1,112 @@
+"""Tests for derived plan properties (candidate keys, §IV.B support)."""
+
+import pytest
+
+from repro.algebra.expressions import Arithmetic, ColumnRef, Comparison, integer
+from repro.algebra.operators import (
+    AggregateAssignment,
+    EnforceSingleRow,
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    Limit,
+    MarkDistinct,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+    Window,
+    WindowAssignment,
+)
+from repro.algebra.properties import candidate_keys, contains_aggregate_or_join, has_key
+from repro.algebra.schema import Column
+from repro.algebra.types import DataType
+
+I = DataType.INTEGER
+
+
+def scan(start=1):
+    cols = (Column(start, "k", I), Column(start + 1, "v", I))
+    return Scan("t", cols, ("k", "v"))
+
+
+def grouped(start=1):
+    s = scan(start)
+    target = Column(start + 10, "n", I)
+    return GroupBy(s, (s.columns[0],), (AggregateAssignment(target, "count", None),))
+
+
+class TestCandidateKeys:
+    def test_group_by_keys(self):
+        g = grouped()
+        assert candidate_keys(g) == {frozenset({g.keys[0]})}
+
+    def test_scalar_group_by_empty_key(self):
+        s = scan()
+        g = GroupBy(s, (), (AggregateAssignment(Column(10, "n", I), "count", None),))
+        assert candidate_keys(g) == {frozenset()}
+
+    def test_enforce_single_row(self):
+        assert candidate_keys(EnforceSingleRow(scan())) == {frozenset()}
+
+    def test_scans_have_no_derived_keys(self):
+        assert candidate_keys(scan()) == set()
+
+    def test_filter_sort_limit_preserve(self):
+        g = grouped()
+        key = frozenset({g.keys[0]})
+        wrapped = Limit(
+            Sort(
+                Filter(g, Comparison(">", ColumnRef(g.keys[0]), integer(0))),
+                (SortKey(ColumnRef(g.keys[0])),),
+            ),
+            5,
+        )
+        assert candidate_keys(wrapped) == {key}
+
+    def test_mark_distinct_and_window_preserve(self):
+        g = grouped()
+        marker = Column(20, "d", DataType.BOOLEAN)
+        w_target = Column(21, "w", DataType.DOUBLE)
+        wrapped = Window(
+            MarkDistinct(g, (g.keys[0],), marker),
+            (g.keys[0],),
+            (WindowAssignment(w_target, "avg", ColumnRef(g.output_columns[1])),),
+        )
+        assert frozenset({g.keys[0]}) in candidate_keys(wrapped)
+
+    def test_projection_preserves_passthrough_keys(self):
+        g = grouped()
+        renamed = Column(30, "kk", I)
+        p = Project(g, ((renamed, ColumnRef(g.keys[0])),))
+        keys = candidate_keys(p)
+        assert keys == {frozenset({renamed})}
+
+    def test_projection_dropping_key_loses_it(self):
+        g = grouped()
+        agg_col = g.output_columns[1]
+        p = Project(g, ((agg_col, ColumnRef(agg_col)),))
+        assert candidate_keys(p) == set()
+
+    def test_projection_computing_over_key_loses_it(self):
+        g = grouped()
+        out = Column(30, "x", I)
+        p = Project(g, ((out, Arithmetic("+", ColumnRef(g.keys[0]), integer(1))),))
+        assert candidate_keys(p) == set()
+
+    def test_has_key(self):
+        g = grouped()
+        assert has_key(g, {g.keys[0], g.output_columns[1]})
+        assert not has_key(g, {g.output_columns[1]})
+
+
+class TestExpensivenessHeuristic:
+    def test_scan_is_cheap(self):
+        assert not contains_aggregate_or_join(scan())
+
+    def test_join_and_aggregate_are_expensive(self):
+        s1, s2 = scan(1), scan(10)
+        join = Join(JoinKind.CROSS, s1, s2)
+        assert contains_aggregate_or_join(join)
+        assert contains_aggregate_or_join(grouped())

@@ -1,0 +1,99 @@
+"""Property-based tests: simplification and normalization preserve
+evaluation semantics, and contradiction detection is sound."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.expressions import (
+    And,
+    Comparison,
+    ColumnRef,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    normalize,
+)
+from repro.algebra.schema import Column
+from repro.algebra.simplify import is_contradiction, simplify, simplify_filter
+from repro.algebra.types import DataType
+from repro.engine.evaluator import compile_expression
+
+COLUMNS = tuple(Column(i + 1, name, DataType.INTEGER) for i, name in enumerate("abc"))
+
+values = st.one_of(st.none(), st.integers(min_value=-5, max_value=5))
+rows = st.tuples(values, values, values)
+
+leaf = st.one_of(
+    st.builds(
+        Comparison,
+        st.sampled_from(("=", "<>", "<", "<=", ">", ">=")),
+        st.sampled_from([ColumnRef(c) for c in COLUMNS]),
+        st.one_of(
+            st.sampled_from([ColumnRef(c) for c in COLUMNS]),
+            st.builds(Literal, st.integers(-5, 5), st.just(DataType.INTEGER)),
+        ),
+    ),
+    st.builds(IsNull, st.sampled_from([ColumnRef(c) for c in COLUMNS])),
+    st.builds(
+        InList,
+        st.sampled_from([ColumnRef(c) for c in COLUMNS]),
+        st.lists(
+            st.builds(Literal, st.integers(-5, 5), st.just(DataType.INTEGER)),
+            min_size=1,
+            max_size=3,
+        ).map(tuple),
+    ),
+)
+
+
+def boolean_exprs(depth: int = 2):
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            st.builds(Not, children),
+            st.lists(children, min_size=2, max_size=3).map(lambda t: And(tuple(t))),
+            st.lists(children, min_size=2, max_size=3).map(lambda t: Or(tuple(t))),
+        ),
+        max_leaves=8,
+    )
+
+
+def evaluate(expr: Expression, row: tuple):
+    return compile_expression(expr, COLUMNS)(row)
+
+
+class TestSimplifyPreservesSemantics:
+    @given(expr=boolean_exprs(), row=rows)
+    @settings(max_examples=300, deadline=None)
+    def test_simplify_same_value(self, expr, row):
+        assert evaluate(simplify(expr), row) == evaluate(expr, row)
+
+    @given(expr=boolean_exprs(), row=rows)
+    @settings(max_examples=300, deadline=None)
+    def test_normalize_same_value(self, expr, row):
+        assert evaluate(normalize(expr), row) == evaluate(expr, row)
+
+    @given(expr=boolean_exprs(), row=rows)
+    @settings(max_examples=300, deadline=None)
+    def test_simplify_filter_preserves_true_set(self, expr, row):
+        # Filter context: only the TRUE-set must be preserved.
+        original = evaluate(expr, row) is True
+        filtered = evaluate(simplify_filter(expr), row) is True
+        assert original == filtered
+
+    @given(expr=boolean_exprs(), row=rows)
+    @settings(max_examples=300, deadline=None)
+    def test_simplify_idempotent(self, expr, row):
+        once = simplify(expr)
+        assert simplify(once) == once
+
+
+class TestContradictionSoundness:
+    @given(expr=boolean_exprs(), row=rows)
+    @settings(max_examples=500, deadline=None)
+    def test_contradictions_never_evaluate_true(self, expr, row):
+        if is_contradiction(expr):
+            assert evaluate(expr, row) is not True

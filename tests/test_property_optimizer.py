@@ -1,0 +1,108 @@
+"""Property-based end-to-end check: for randomly composed queries with
+CTE reuse, the fusion pipeline returns exactly the baseline's results.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.types import DataType
+from repro.catalog.catalog import ColumnDef, TableDef
+from repro.engine.session import Session
+from repro.optimizer.config import OptimizerConfig
+from repro.storage.columnar import Store, StoredTable
+
+I = DataType.INTEGER
+
+TABLE = TableDef("t", (ColumnDef("k", I), ColumnDef("g", I), ColumnDef("v", I)))
+
+row_values = st.integers(min_value=0, max_value=4)
+nullable = st.one_of(st.none(), row_values)
+table_rows = st.lists(st.tuples(row_values, nullable, nullable), min_size=0, max_size=15)
+
+predicates = st.sampled_from(
+    ["v > 1", "v < 3", "g = 2", "g <> 1", "v IS NOT NULL", "v BETWEEN 1 AND 3"]
+)
+aggregates = st.sampled_from(
+    ["count(*)", "sum(v)", "avg(v)", "min(v)", "max(v)", "count(DISTINCT v)"]
+)
+
+
+def build_sessions(rows):
+    store = Store()
+    store.put(
+        StoredTable.from_columns(
+            TABLE,
+            {
+                "k": [r[0] for r in rows],
+                "g": [r[1] for r in rows],
+                "v": [r[2] for r in rows],
+            },
+        )
+    )
+    baseline = Session(store, OptimizerConfig(enable_fusion=False))
+    fused = Session(store, OptimizerConfig(enable_fusion=True))
+    return baseline, fused
+
+
+def assert_equivalent(sql, rows):
+    baseline, fused = build_sessions(rows)
+    expected = baseline.execute(sql)
+    actual = fused.execute(sql)
+    assert expected.sorted_rows() == actual.sorted_rows()
+
+
+@given(rows=table_rows, pred1=predicates, pred2=predicates)
+@settings(max_examples=60, deadline=None)
+def test_union_of_cte_filters(rows, pred1, pred2):
+    sql = (
+        "WITH cte AS (SELECT g, v FROM t) "
+        f"SELECT v FROM cte WHERE {pred1} "
+        f"UNION ALL SELECT v FROM cte WHERE {pred2}"
+    )
+    assert_equivalent(sql, rows)
+
+
+@given(rows=table_rows, agg1=aggregates, agg2=aggregates, pred1=predicates, pred2=predicates)
+@settings(max_examples=60, deadline=None)
+def test_scalar_aggregate_merging(rows, agg1, agg2, pred1, pred2):
+    sql = (
+        f"SELECT (SELECT {agg1} FROM t WHERE {pred1}) AS a, "
+        f"(SELECT {agg2} FROM t WHERE {pred2}) AS b"
+    )
+    assert_equivalent(sql, rows)
+
+
+@given(rows=table_rows, agg=aggregates)
+@settings(max_examples=40, deadline=None)
+def test_groupby_join_back(rows, agg):
+    if "DISTINCT" in agg or agg == "count(*)":
+        agg = "avg(v)"
+    sql = (
+        "WITH cte AS (SELECT g, v FROM t WHERE g IS NOT NULL) "
+        f"SELECT c1.g, c1.v FROM cte c1, (SELECT g, {agg} AS m FROM cte GROUP BY g) c2 "
+        "WHERE c1.g = c2.g AND c1.v <= c2.m"
+    )
+    assert_equivalent(sql, rows)
+
+
+@given(rows=table_rows, pred=predicates)
+@settings(max_examples=40, deadline=None)
+def test_keyed_groupby_self_join(rows, pred):
+    sql = (
+        "SELECT a.g, a.s, b.c FROM "
+        f"(SELECT g, sum(v) AS s FROM t WHERE {pred} GROUP BY g) a, "
+        "(SELECT g, count(*) AS c FROM t GROUP BY g) b "
+        "WHERE a.g = b.g"
+    )
+    assert_equivalent(sql, rows)
+
+
+@given(rows=table_rows, pred1=predicates, pred2=predicates)
+@settings(max_examples=40, deadline=None)
+def test_correlated_average(rows, pred1, pred2):
+    sql = (
+        "WITH cte AS (SELECT g, v FROM t) "
+        "SELECT c1.v FROM cte c1 "
+        "WHERE c1.v > (SELECT avg(v) FROM cte c2 WHERE c2.g = c1.g)"
+    )
+    assert_equivalent(sql, rows)

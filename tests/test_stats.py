@@ -1,0 +1,140 @@
+"""Tests for column statistics collection and cardinality estimation."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog, ColumnStats
+from repro.optimizer.stats import CardinalityEstimator
+from repro.sql.binder import Binder
+
+
+@pytest.fixture()
+def env(people_store):
+    catalog = Catalog()
+    people_store.load_catalog(catalog)
+    return catalog, Binder(catalog), CardinalityEstimator(catalog)
+
+
+class TestStatsCollection:
+    def test_ndv_and_nulls(self, env):
+        catalog, _, _ = env
+        stats = catalog.column_stats("people", "lname")
+        assert stats.ndv == 5  # Smith, Smith, Doe, Kahn, Reyes, Voss
+        age = catalog.column_stats("people", "age")
+        assert age.null_fraction == pytest.approx(1 / 6)
+        assert age.min_value == 23 and age.max_value == 61
+
+    def test_unknown_column(self, env):
+        catalog, _, _ = env
+        assert catalog.column_stats("people", "missing") is None
+
+    def test_primary_key_ndv_equals_rows(self, env):
+        catalog, _, _ = env
+        stats = catalog.column_stats("people", "id")
+        assert stats.ndv == catalog.row_count("people")
+
+
+class TestScanEstimates:
+    def estimate(self, env, sql):
+        catalog, binder, estimator = env
+        return estimator.estimate(binder.bind_sql(sql).plan)
+
+    def test_bare_scan(self, env):
+        assert self.estimate(env, "SELECT id FROM people") == 6.0
+
+    def test_equality_uses_ndv(self, env):
+        # lname = 'Smith': 6 rows / 5 distinct values
+        rows = self.estimate(env, "SELECT id FROM people WHERE lname = 'Smith'")
+        assert rows == pytest.approx(6 / 5, rel=0.01)
+
+    def test_range_uses_min_max(self, env):
+        # age < 42 over [23, 61]: ~half the non-null rows
+        rows = self.estimate(env, "SELECT id FROM people WHERE age < 42")
+        assert 1.5 < rows < 4.5
+
+    def test_impossible_range_estimates_small(self, env):
+        low = self.estimate(env, "SELECT id FROM people WHERE age < 23")
+        high = self.estimate(env, "SELECT id FROM people WHERE age < 100")
+        assert low < high
+
+    def test_and_multiplies(self, env):
+        single = self.estimate(env, "SELECT id FROM people WHERE lname = 'Smith'")
+        double = self.estimate(
+            env, "SELECT id FROM people WHERE lname = 'Smith' AND fname = 'John'"
+        )
+        assert double < single
+
+    def test_or_unions(self, env):
+        either = self.estimate(
+            env, "SELECT id FROM people WHERE lname = 'Smith' OR lname = 'Doe'"
+        )
+        single = self.estimate(env, "SELECT id FROM people WHERE lname = 'Smith'")
+        assert either > single
+
+    def test_is_null_uses_null_fraction(self, env):
+        rows = self.estimate(env, "SELECT id FROM people WHERE age IS NULL")
+        assert rows == pytest.approx(1.0, rel=0.01)
+
+    def test_in_list(self, env):
+        rows = self.estimate(env, "SELECT id FROM people WHERE city_id IN (10, 20)")
+        assert rows > self.estimate(env, "SELECT id FROM people WHERE city_id IN (10)")
+
+
+class TestPlanEstimates:
+    def estimate(self, env, sql):
+        catalog, binder, estimator = env
+        return estimator.estimate(binder.bind_sql(sql).plan)
+
+    def test_equi_join_uses_key_ndv(self, env):
+        rows = self.estimate(
+            env,
+            "SELECT 1 FROM people JOIN cities ON people.city_id = cities.city_id",
+        )
+        # 6 * 4 / max(ndv) = 24 / 4 = 6
+        assert rows == pytest.approx(6.0, rel=0.2)
+
+    def test_cross_join_multiplies(self, env):
+        rows = self.estimate(env, "SELECT 1 FROM people, cities")
+        assert rows == 24.0
+
+    def test_group_by_capped_by_ndv(self, env):
+        rows = self.estimate(
+            env, "SELECT lname, count(*) AS n FROM people GROUP BY lname"
+        )
+        assert rows == pytest.approx(5.0, rel=0.01)
+
+    def test_scalar_aggregate_is_one(self, env):
+        assert self.estimate(env, "SELECT count(*) AS n FROM people") == 1.0
+
+    def test_limit_caps(self, env):
+        assert self.estimate(env, "SELECT id FROM people LIMIT 2") == 2.0
+
+    def test_union_adds(self, env):
+        rows = self.estimate(
+            env, "SELECT id FROM people UNION ALL SELECT city_id FROM cities"
+        )
+        assert rows == 10.0
+
+    def test_semi_join_bounded_by_left(self, env):
+        rows = self.estimate(
+            env,
+            "SELECT id FROM people WHERE city_id IN (SELECT city_id FROM cities)",
+        )
+        assert 1.0 <= rows <= 6.0
+
+    def test_renaming_projection_forwards_stats(self, env):
+        catalog, binder, estimator = env
+        rows = estimator.estimate(
+            binder.bind_sql(
+                "SELECT x FROM (SELECT lname AS x FROM people) t WHERE x = 'Smith'"
+            ).plan
+        )
+        assert rows == pytest.approx(6 / 5, rel=0.01)
+
+    def test_unknown_table_defaults(self, env):
+        catalog, binder, estimator = env
+        from repro.algebra.operators import Scan
+        from repro.algebra.schema import Column
+        from repro.algebra.types import DataType
+
+        ghost = Scan("ghost", (Column(9999, "x", DataType.INTEGER),), ("x",))
+        assert estimator.estimate(ghost) == 1000.0

@@ -1,0 +1,148 @@
+"""Unit tests for the columnar store, accounting, and catalog."""
+
+import pytest
+
+from repro.algebra.types import DataType
+from repro.catalog.catalog import Catalog, ColumnDef, TableDef
+from repro.errors import CatalogError
+from repro.storage.accounting import ScanAccounting
+from repro.storage.columnar import ColumnChunk, Store, StoredTable
+
+I = DataType.INTEGER
+S = DataType.STRING
+
+
+def table_def(partitioned: bool = False) -> TableDef:
+    return TableDef(
+        "t",
+        (ColumnDef("k", I), ColumnDef("v", S, avg_string_bytes=4.0)),
+        primary_key=("k",),
+        partition_column="k" if partitioned else None,
+    )
+
+
+class TestChunks:
+    def test_build_tracks_min_max(self):
+        chunk = ColumnChunk.build("k", I, [3, None, 1, 7])
+        assert chunk.min_value == 1 and chunk.max_value == 7
+        assert chunk.encoded_size == 16.0  # 4 values * 4 bytes
+
+    def test_all_null_chunk(self):
+        chunk = ColumnChunk.build("k", I, [None, None])
+        assert chunk.min_value is None and chunk.max_value is None
+
+    def test_string_chunk_uses_avg_bytes(self):
+        chunk = ColumnChunk.build("v", S, ["ab", "cd"], avg_string_bytes=4.0)
+        assert chunk.encoded_size == 8.0
+
+
+class TestStoredTable:
+    def test_from_columns_and_row_count(self):
+        table = StoredTable.from_columns(table_def(), {"k": [1, 2], "v": ["a", "b"]})
+        assert table.row_count == 2
+        assert len(table.partitions) == 1
+
+    def test_partitioning_by_row_count(self):
+        data = {"k": list(range(10)), "v": ["x"] * 10}
+        table = StoredTable.from_columns(table_def(True), data, partition_rows=3)
+        assert len(table.partitions) == 4
+        assert [p.row_count for p in table.partitions] == [3, 3, 3, 1]
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(CatalogError):
+            StoredTable.from_columns(table_def(), {"k": [1]})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(CatalogError):
+            StoredTable.from_columns(table_def(), {"k": [1], "v": ["a", "b"]})
+
+    def test_total_bytes_column_subset(self):
+        table = StoredTable.from_columns(table_def(), {"k": [1, 2], "v": ["a", "b"]})
+        assert table.total_bytes(["k"]) == 8.0
+        assert table.total_bytes() == 16.0
+
+
+class TestStoreScan:
+    def make_store(self) -> Store:
+        store = Store()
+        data = {"k": [1, 1, 2, 2, 3, 3], "v": list("abcdef")}
+        store.put(StoredTable.from_columns(table_def(True), data, partition_rows=2))
+        return store
+
+    def test_scan_streams_rows(self):
+        store = self.make_store()
+        acct = ScanAccounting()
+        rows = list(store.scan("t", ["v", "k"], acct))
+        assert rows[0] == ("a", 1)
+        assert acct.rows_scanned == 6
+        assert acct.partitions_read == 3
+        assert acct.scans_by_table == {"t": 1}
+
+    def test_scan_charges_only_requested_columns(self):
+        store = self.make_store()
+        acct = ScanAccounting()
+        list(store.scan("t", ["k"], acct))
+        assert acct.bytes_scanned == 24.0  # 6 ints
+
+    def test_partition_pruning_skips_charges(self):
+        store = self.make_store()
+        acct = ScanAccounting()
+        rows = list(
+            store.scan("t", ["k"], acct, partition_predicate=lambda c: c.min_value >= 3)
+        )
+        assert rows == [(3,), (3,)]
+        assert acct.partitions_read == 1
+
+    def test_missing_table(self):
+        store = self.make_store()
+        with pytest.raises(CatalogError):
+            store.get("nope")
+
+    def test_accounting_snapshot_and_reset(self):
+        acct = ScanAccounting()
+        acct.record_scan("t")
+        acct.record_partition(5)
+        acct.record_chunk("t", 100.0)
+        snap = acct.snapshot()
+        acct.reset()
+        assert snap.bytes_scanned == 100.0 and snap.rows_scanned == 5
+        assert acct.bytes_scanned == 0.0 and not acct.bytes_by_table
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        catalog.register(table_def())
+        assert catalog.has_table("T")
+        assert catalog.table("t").column("V").dtype is S
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+
+    def test_fresh_scan_columns_unique(self):
+        catalog = Catalog()
+        catalog.register(table_def())
+        cols1, sources = catalog.fresh_scan_columns("t")
+        cols2, _ = catalog.fresh_scan_columns("t")
+        assert sources == ("k", "v")
+        assert not set(cols1) & set(cols2)
+
+    def test_row_count_update(self):
+        catalog = Catalog()
+        catalog.register(table_def())
+        catalog.set_row_count("t", 42)
+        assert catalog.row_count("t") == 42
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableDef("bad", (ColumnDef("a", I), ColumnDef("A", I)))
+
+    def test_partition_column_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableDef("bad", (ColumnDef("a", I),), partition_column="nope")
+
+    def test_store_load_catalog_row_counts(self):
+        store = Store()
+        store.put(StoredTable.from_columns(table_def(), {"k": [1, 2, 3], "v": list("abc")}))
+        catalog = Catalog()
+        store.load_catalog(catalog)
+        assert catalog.row_count("t") == 3

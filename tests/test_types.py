@@ -1,0 +1,39 @@
+"""Tests for the type system and encoded-size model."""
+
+import pytest
+
+from repro.algebra.types import (
+    DEFAULT_STRING_BYTES,
+    DataType,
+    common_numeric_type,
+    encoded_bytes,
+)
+
+
+class TestDataType:
+    def test_numeric_flags(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.DOUBLE.is_numeric
+        assert DataType.DATE.is_numeric
+        assert not DataType.STRING.is_numeric
+        assert not DataType.BOOLEAN.is_numeric
+
+    def test_common_numeric_type(self):
+        assert common_numeric_type(DataType.INTEGER, DataType.INTEGER) is DataType.INTEGER
+        assert common_numeric_type(DataType.INTEGER, DataType.DOUBLE) is DataType.DOUBLE
+        assert common_numeric_type(DataType.DOUBLE, DataType.INTEGER) is DataType.DOUBLE
+
+
+class TestEncodedBytes:
+    def test_fixed_widths(self):
+        assert encoded_bytes(DataType.INTEGER) == 4.0
+        assert encoded_bytes(DataType.DOUBLE) == 8.0
+        assert encoded_bytes(DataType.DATE) == 4.0
+        assert encoded_bytes(DataType.BOOLEAN) == 0.125  # bit-packed
+
+    def test_string_default_and_override(self):
+        assert encoded_bytes(DataType.STRING) == DEFAULT_STRING_BYTES
+        assert encoded_bytes(DataType.STRING, avg_string_bytes=3.5) == 3.5
+
+    def test_override_ignored_for_non_strings(self):
+        assert encoded_bytes(DataType.INTEGER, avg_string_bytes=100.0) == 4.0

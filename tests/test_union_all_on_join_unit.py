@@ -1,0 +1,103 @@
+"""Unit tests for UnionAllOnJoin internals: expression unification
+(the paper's UA1/UA2 slot machinery) and branch decomposition."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    integer,
+)
+from repro.algebra.operators import Project, Scan
+from repro.algebra.schema import Column
+from repro.algebra.types import DataType
+from repro.optimizer.fusion_rules.union_all_on_join import _decompose, _unify
+
+I = DataType.INTEGER
+D = DataType.DOUBLE
+
+
+def col(cid, name="c", dtype=I):
+    return Column(cid, name, dtype)
+
+
+SOLO1 = {col(1, "a"), col(2, "b")}
+SOLO2 = {col(11, "x"), col(12, "y")}
+COMMON = col(100, "shared")
+
+
+class TestUnify:
+    def unify(self, e1, e2):
+        pairs = []
+        ok = _unify(e1, e2, SOLO1, SOLO2, pairs)
+        return ok, pairs
+
+    def test_identical_columns(self):
+        ok, pairs = self.unify(ColumnRef(COMMON), ColumnRef(COMMON))
+        assert ok and pairs == []
+
+    def test_solo_columns_pair(self):
+        ok, pairs = self.unify(ColumnRef(col(1, "a")), ColumnRef(col(11, "x")))
+        assert ok
+        assert pairs == [(ColumnRef(col(1, "a")), ColumnRef(col(11, "x")))]
+
+    def test_solo_type_mismatch_fails(self):
+        ok, _ = self.unify(ColumnRef(col(1, "a")), ColumnRef(col(13, "z", D)))
+        assert not ok
+
+    def test_solo_against_common_fails(self):
+        ok, _ = self.unify(ColumnRef(col(1, "a")), ColumnRef(COMMON))
+        assert not ok
+
+    def test_comparison_structure(self):
+        e1 = Comparison("=", ColumnRef(col(1, "a")), ColumnRef(COMMON))
+        e2 = Comparison("=", ColumnRef(col(11, "x")), ColumnRef(COMMON))
+        ok, pairs = self.unify(e1, e2)
+        assert ok and len(pairs) == 1
+
+    def test_operator_mismatch_fails(self):
+        e1 = Comparison("=", ColumnRef(col(1, "a")), ColumnRef(COMMON))
+        e2 = Comparison("<", ColumnRef(col(11, "x")), ColumnRef(COMMON))
+        ok, _ = self.unify(e1, e2)
+        assert not ok
+
+    def test_literal_mismatch_fails(self):
+        e1 = Comparison("=", ColumnRef(col(1, "a")), integer(1))
+        e2 = Comparison("=", ColumnRef(col(11, "x")), integer(2))
+        ok, _ = self.unify(e1, e2)
+        assert not ok
+
+    def test_nested_arithmetic(self):
+        e1 = Arithmetic("*", ColumnRef(col(1, "a")), ColumnRef(col(2, "b")))
+        e2 = Arithmetic("*", ColumnRef(col(11, "x")), ColumnRef(col(12, "y")))
+        ok, pairs = self.unify(e1, e2)
+        assert ok and len(pairs) == 2
+
+    def test_shape_mismatch_fails(self):
+        e1 = Arithmetic("*", ColumnRef(col(1, "a")), integer(2))
+        e2 = ColumnRef(col(11, "x"))
+        ok, _ = self.unify(e1, e2)
+        assert not ok
+
+
+class TestDecompose:
+    def test_non_join_branch_returns_none(self):
+        scan = Scan("t", (col(1, "a"),), ("a",))
+        assert _decompose(scan, scan.output_columns) is None
+
+    def test_projection_outputs_composed(self, people_store):
+        from repro.catalog.catalog import Catalog
+        from repro.sql.binder import Binder
+
+        catalog = Catalog()
+        people_store.load_catalog(catalog)
+        binder = Binder(catalog)
+        plan = binder.bind_sql(
+            "SELECT amount * 2 AS double_amount FROM orders, people WHERE person_id = id"
+        ).plan
+        branch = _decompose(plan, plan.output_columns)
+        assert branch is not None
+        assert len(branch.graph.inputs) == 2
+        assert len(branch.outputs) == 1
+        assert isinstance(branch.outputs[0], Arithmetic)

@@ -1,0 +1,45 @@
+"""Tests for the workload comparison runner."""
+
+import pytest
+
+from repro.tpcds.queries import STUDIED_QUERIES
+from repro.tpcds.workload import WorkloadReport, QueryComparison, compare_workloads
+
+
+class TestCompareWorkloads:
+    def test_small_suite(self, baseline_session, fusion_session):
+        suite = {"q65": STUDIED_QUERIES["q65"], "q88": STUDIED_QUERIES["q88"]}
+        report = compare_workloads(baseline_session, fusion_session, suite)
+        assert len(report.queries) == 2
+        assert len(report.changed) == 2
+        assert report.total_improvement_percent > 0
+        assert report.best_speedup > 1.0
+        assert "changed plans" in report.summary()
+
+    def test_identical_sessions_show_no_change(self, baseline_session):
+        suite = {"q65": STUDIED_QUERIES["q65"]}
+        report = compare_workloads(baseline_session, baseline_session, suite)
+        assert not report.changed
+        assert report.changed_mean_improvement_percent == 0.0
+        assert report.best_speedup == 1.0
+
+    def test_empty_report_degenerates(self):
+        report = WorkloadReport()
+        assert report.total_improvement_percent == 0.0
+        assert report.best_speedup == 1.0
+
+
+class TestQueryComparison:
+    def make(self, base=2.0, cand=1.0):
+        return QueryComparison("q", base, cand, 100.0, 50.0, True)
+
+    def test_speedup_and_improvement(self):
+        comparison = self.make()
+        assert comparison.speedup == 2.0
+        assert comparison.improvement_percent == 50.0
+
+    def test_zero_candidate(self):
+        assert self.make(cand=0.0).speedup == float("inf")
+
+    def test_zero_baseline(self):
+        assert self.make(base=0.0).improvement_percent == 0.0
