@@ -1,0 +1,162 @@
+"""A/B benchmark: row-at-a-time vs. vectorized batch execution engine.
+
+Runs the TPC-DS proxy workload under both backends on identical plans
+(planned once, executed ``--repeat`` times each, best time kept) and
+writes a ``BENCH_engine.json`` trajectory file — per-query wall time,
+rows/sec, and speedup ratio, plus geometric means over the full
+workload and over the scan/filter/project-heavy subset — so later PRs
+can track engine regressions::
+
+    PYTHONPATH=src python benchmarks/bench_engine_ab.py
+    PYTHONPATH=src python benchmarks/bench_engine_ab.py --scale tiny --repeat 1
+
+Result equivalence is asserted per query before timing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+
+from repro.engine.batch_executor import execute_batch
+from repro.engine.executor import execute
+from repro.engine.metrics import RunContext
+from repro.engine.session import Session
+from repro.optimizer.config import OptimizerConfig
+from repro.tpcds.generator import generate_dataset
+from repro.tpcds.queries import WORKLOAD_QUERIES
+
+#: Named dataset scales.  ``tiny`` exists for CI smoke runs.
+SCALES = {"tiny": 0.02, "small": 0.05, "default": 0.2}
+
+#: The scan/filter/project/aggregate-dominated subset: single-table or
+#: dimension-light queries whose cost is the per-row interpretation
+#: the batch engine amortizes (the acceptance axis for this harness).
+SCAN_HEAVY = (
+    "q09",
+    "q28",
+    "q88",
+    "w12",
+    "w98",
+    "x01",
+    "x03",
+    "x05",
+    "x06",
+    "x07",
+    "x08",
+)
+
+
+def parse_scale(text: str) -> float:
+    return SCALES[text] if text in SCALES else float(text)
+
+
+def geomean(values: list[float]) -> float:
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _sorted_rows(rows: list[tuple]) -> list[tuple]:
+    return sorted(rows, key=lambda r: tuple((v is None, str(v)) for v in r))
+
+
+def time_engine(runner, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        runner()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_query(store, plan, block_rows: int, repeat: int) -> dict:
+    row_rows = list(execute(plan, RunContext(store)))
+    batch_rows = list(execute_batch(plan, RunContext(store), block_rows=block_rows))
+    if _sorted_rows(row_rows) != _sorted_rows(batch_rows):
+        raise AssertionError("engines disagree on results")
+    rows_out = len(row_rows)
+    del row_rows, batch_rows
+
+    row_s = time_engine(lambda: list(execute(plan, RunContext(store))), repeat)
+    batch_s = time_engine(
+        lambda: list(execute_batch(plan, RunContext(store), block_rows=block_rows)),
+        repeat,
+    )
+    return {
+        "row_s": row_s,
+        "batch_s": batch_s,
+        "speedup": row_s / max(batch_s, 1e-9),
+        "rows_out": rows_out,
+        "rows_per_s_row": rows_out / max(row_s, 1e-9),
+        "rows_per_s_batch": rows_out / max(batch_s, 1e-9),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default="default",
+        help=f"dataset scale: {', '.join(SCALES)} or a float (default: default)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
+    parser.add_argument("--block-rows", type=int, default=1024)
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument(
+        "--queries", nargs="*", default=None, help="subset of workload query names"
+    )
+    args = parser.parse_args(argv)
+
+    scale = parse_scale(args.scale)
+    names = args.queries or sorted(WORKLOAD_QUERIES)
+    print(f"generating dataset (scale={scale}) ...", flush=True)
+    store = generate_dataset(scale=scale, seed=args.seed)
+    session = Session(store, OptimizerConfig())
+
+    queries = {}
+    for name in names:
+        plan, _ = session.plan(WORKLOAD_QUERIES[name])
+        result = bench_query(store, plan, args.block_rows, args.repeat)
+        queries[name] = result
+        print(
+            f"  {name}: row={result['row_s']*1000:8.1f}ms "
+            f"batch={result['batch_s']*1000:8.1f}ms "
+            f"speedup={result['speedup']:5.2f}x rows={result['rows_out']}",
+            flush=True,
+        )
+
+    scan_heavy_run = [n for n in names if n in SCAN_HEAVY]
+    report = {
+        "benchmark": "engine_ab",
+        "scale": scale,
+        "block_rows": args.block_rows,
+        "repeat": args.repeat,
+        "python": platform.python_version(),
+        "queries": queries,
+        "geomean_speedup": geomean([q["speedup"] for q in queries.values()]),
+        "scan_heavy_queries": scan_heavy_run,
+        "scan_heavy_geomean_speedup": geomean(
+            [queries[n]["speedup"] for n in scan_heavy_run]
+        ),
+        "total_row_s": sum(q["row_s"] for q in queries.values()),
+        "total_batch_s": sum(q["batch_s"] for q in queries.values()),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(
+        f"\ngeomean speedup: {report['geomean_speedup']:.2f}x "
+        f"(scan-heavy subset: {report['scan_heavy_geomean_speedup']:.2f}x over "
+        f"{len(scan_heavy_run)} queries)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

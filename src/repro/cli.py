@@ -43,6 +43,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--limit", type=int, default=20, help="max rows to print (default 20)"
     )
+    parser.add_argument(
+        "--engine",
+        choices=("row", "batch"),
+        default="batch",
+        help="execution backend: vectorized 'batch' (default) or 'row'",
+    )
+    parser.add_argument(
+        "--batch-rows",
+        type=int,
+        default=1024,
+        help="rows per block for the batch engine (default 1024)",
+    )
     return parser
 
 
@@ -64,10 +76,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     store = generate_dataset(scale=args.scale, seed=args.seed)
 
+    engine_opts = {"engine": args.engine, "batch_rows": args.batch_rows}
     try:
         if args.compare:
-            baseline = Session(store, OptimizerConfig(enable_fusion=False))
-            fused = Session(store, OptimizerConfig(enable_fusion=True))
+            baseline = Session(
+                store, OptimizerConfig(enable_fusion=False, **engine_opts)
+            )
+            fused = Session(store, OptimizerConfig(enable_fusion=True, **engine_opts))
             base_result = baseline.execute(args.sql)
             fused_result = fused.execute(args.sql)
             if base_result.sorted_rows() != fused_result.sorted_rows():
@@ -90,7 +105,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 0
 
-        config = OptimizerConfig(enable_fusion=not args.baseline)
+        config = OptimizerConfig(enable_fusion=not args.baseline, **engine_opts)
         session = Session(store, config)
         result = session.execute(args.sql)
         _print_result(result, args.limit, args.explain)

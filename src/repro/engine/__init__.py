@@ -1,6 +1,12 @@
-"""Streaming execution engine with scan/memory accounting."""
+"""Execution engines (row-streaming and vectorized batch) with
+scan/memory accounting."""
 
-from repro.engine.evaluator import Aggregator, compile_expression
+from repro.engine.batch_executor import DEFAULT_BLOCK_ROWS, execute_batch
+from repro.engine.evaluator import (
+    Aggregator,
+    compile_expression,
+    compile_expression_batch,
+)
 from repro.engine.executor import execute
 from repro.engine.metrics import QueryMetrics, RunContext, Stopwatch
 from repro.engine.session import QueryResult, Session
@@ -12,6 +18,9 @@ __all__ = [
     "RunContext",
     "Stopwatch",
     "execute",
+    "execute_batch",
+    "DEFAULT_BLOCK_ROWS",
     "compile_expression",
+    "compile_expression_batch",
     "Aggregator",
 ]

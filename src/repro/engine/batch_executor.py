@@ -1,0 +1,620 @@
+"""Vectorized (batch) plan execution.
+
+The second execution backend: operators stream **row blocks** instead
+of single rows.  A block is ``(cols, n)`` — one Python list per output
+column plus a row count — produced at the scan directly from the
+storage layer's column chunks (no per-row tuple construction before
+the filter) and carried through Filter/Project/UnionAll in columnar
+form.  Expressions evaluate through
+:func:`repro.engine.evaluator.compile_expression_batch`, which runs
+one list comprehension per expression node per block, amortizing the
+interpreter's per-row closure overhead that dominates the row engine.
+
+Operators that are inherently row-oriented (hash joins, aggregation,
+MarkDistinct, Sort, Window) convert blocks to row tuples with a single
+C-level ``zip(*cols)`` per block and re-emit blocks; their per-row
+logic is copied from :mod:`repro.engine.executor` so the two backends
+are behaviourally identical.
+
+Equivalence contract (enforced by ``tests/test_engine_ab.py``): for
+any plan both engines produce the same result multiset and identical
+``bytes_scanned`` / ``rows_scanned`` / ``partitions_read`` /
+``spooled_rows`` / ``spool_read_rows``.  Only wall time and internal
+block bookkeeping (and, under early termination, the exact state-row
+counts of partially drained operators) may differ.  Two
+invariants make the metric half of this hold by construction:
+
+* scans charge accounting per partition chunk (shared
+  :meth:`~repro.storage.columnar.Store.scan_blocks` path), and blocks
+  never span a partition boundary — so early termination (Limit,
+  EnforceSingleRow) can over-read at most the tail of a block that
+  lies in an already-charged partition;
+* buffered operators flush their output at every input-block boundary
+  instead of accumulating across blocks, so they never pull more input
+  blocks than needed to satisfy downstream demand.
+
+Blocks are immutable by convention: operators may pass column vectors
+through by reference (Project/UnionAll are zero-copy for pass-through
+columns) but never mutate one in place.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterator
+
+from repro.algebra.expressions import TRUE, ColumnRef
+from repro.algebra.operators import (
+    EnforceSingleRow,
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    Limit,
+    MarkDistinct,
+    PlanNode,
+    Project,
+    ScalarApply,
+    Scan,
+    Sort,
+    Spool,
+    UnionAll,
+    Values,
+    Window,
+)
+from repro.engine.evaluator import (
+    Aggregator,
+    compile_expression,
+    compile_expression_batch,
+)
+from repro.engine.executor import (
+    _partition_pruner,
+    _split_join_condition,
+    scan_predicate,
+)
+from repro.engine.metrics import RunContext
+from repro.errors import ExecutionError
+
+#: Default rows per block — large enough to amortize per-block costs,
+#: small enough to keep resident intermediates bounded.
+DEFAULT_BLOCK_ROWS = 1024
+
+Row = tuple
+#: A block: (column vectors, row count).  Zero-column blocks carry
+#: their row count explicitly.
+Block = tuple[list, int]
+
+
+def execute_batch(
+    plan: PlanNode, ctx: RunContext, block_rows: int = DEFAULT_BLOCK_ROWS
+) -> Iterator[Row]:
+    """Execute ``plan`` with the batch engine, yielding output rows."""
+    return _iter_rows(plan, ctx, block_rows)
+
+
+def execute_blocks(
+    plan: PlanNode, ctx: RunContext, block_rows: int = DEFAULT_BLOCK_ROWS
+) -> Iterator[Block]:
+    """Execute ``plan``, yielding output blocks.
+
+    Like the row engine's ``execute``, each call produces a fresh
+    execution; ScalarApply relies on this to re-run its subquery.
+    """
+    if isinstance(plan, Scan):
+        return _run_scan(plan, ctx, block_rows)
+    if isinstance(plan, Values):
+        return _blocks_from_row_list(
+            list(plan.rows), len(plan.columns), block_rows
+        )
+    if isinstance(plan, Filter):
+        return _run_filter(plan, ctx, block_rows)
+    if isinstance(plan, Project):
+        return _run_project(plan, ctx, block_rows)
+    if isinstance(plan, Join):
+        return _run_join(plan, ctx, block_rows)
+    if isinstance(plan, GroupBy):
+        return _run_group_by(plan, ctx, block_rows)
+    if isinstance(plan, MarkDistinct):
+        return _run_mark_distinct(plan, ctx, block_rows)
+    if isinstance(plan, Window):
+        return _run_window(plan, ctx, block_rows)
+    if isinstance(plan, UnionAll):
+        return _run_union_all(plan, ctx, block_rows)
+    if isinstance(plan, Sort):
+        return _run_sort(plan, ctx, block_rows)
+    if isinstance(plan, Limit):
+        return _run_limit(plan, ctx, block_rows)
+    if isinstance(plan, EnforceSingleRow):
+        return _run_enforce_single_row(plan, ctx, block_rows)
+    if isinstance(plan, ScalarApply):
+        return _run_scalar_apply(plan, ctx, block_rows)
+    if isinstance(plan, Spool):
+        return _run_spool(plan, ctx, block_rows)
+    raise ExecutionError(f"no batch executor for operator {plan.name}")
+
+
+# -- block plumbing ------------------------------------------------------
+
+
+def _iter_rows(plan: PlanNode, ctx: RunContext, block_rows: int) -> Iterator[Row]:
+    """Flatten a block stream into row tuples (one zip per block)."""
+    for cols, n in execute_blocks(plan, ctx, block_rows):
+        if cols:
+            yield from zip(*cols)
+        else:
+            yield from (() for _ in range(n))
+
+
+def _block_rows(cols: list, n: int) -> list[Row]:
+    """Materialize one block as a list of row tuples."""
+    if cols:
+        return list(zip(*cols))
+    return [()] * n
+
+
+def _rows_block(rows: list[Row], width: int) -> Block:
+    """Build one block from a non-empty list of row tuples."""
+    if width:
+        return [list(c) for c in zip(*rows)], len(rows)
+    return [], len(rows)
+
+
+def _blocks_from_row_list(
+    rows: list[Row], width: int, block_rows: int
+) -> Iterator[Block]:
+    for start in range(0, len(rows), block_rows):
+        yield _rows_block(rows[start : start + block_rows], width)
+
+
+def _compact(cols: list, n: int, mask: list) -> Block:
+    """Keep the rows whose mask value is identity-True."""
+    sel = [i for i, v in enumerate(mask) if v is True]
+    kept = len(sel)
+    if kept == n:
+        return cols, n
+    if kept == 0:
+        return [], 0
+    return [[c[i] for i in sel] for c in cols], kept
+
+
+# -- scans ---------------------------------------------------------------
+
+
+def _run_scan(plan: Scan, ctx: RunContext, block_rows: int) -> Iterator[Block]:
+    blocks = ctx.store.scan_blocks(
+        plan.table,
+        plan.source_names,
+        ctx.accounting,
+        partition_predicate=_partition_pruner(plan),
+        block_rows=block_rows,
+    )
+    if plan.predicate is None:
+        yield from blocks
+        return
+    predicate = None
+    for cols, n in blocks:
+        if predicate is None:
+            # Deferred like the row engine: a fully pruned scan never
+            # compiles, and re-executions share the per-run cache.
+            predicate = scan_predicate(plan, ctx, mode="batch")
+        out_cols, out_n = _compact(cols, n, predicate(cols, n))
+        if out_n:
+            yield out_cols, out_n
+
+
+# -- stateless block operators -------------------------------------------
+
+
+def _run_filter(plan: Filter, ctx: RunContext, block_rows: int) -> Iterator[Block]:
+    condition = compile_expression_batch(
+        plan.condition, plan.child.output_columns, ctx.env
+    )
+    for cols, n in execute_blocks(plan.child, ctx, block_rows):
+        out_cols, out_n = _compact(cols, n, condition(cols, n))
+        if out_n:
+            yield out_cols, out_n
+
+
+def _run_project(plan: Project, ctx: RunContext, block_rows: int) -> Iterator[Block]:
+    child_columns = plan.child.output_columns
+    indexes = {c.cid: i for i, c in enumerate(child_columns)}
+    # Pass-through column references copy the vector reference (free);
+    # only computed expressions evaluate.
+    slots: list = []
+    for _, expr in plan.assignments:
+        if isinstance(expr, ColumnRef) and expr.column.cid in indexes:
+            slots.append(indexes[expr.column.cid])
+        else:
+            slots.append(compile_expression_batch(expr, child_columns, ctx.env))
+    for cols, n in execute_blocks(plan.child, ctx, block_rows):
+        yield [cols[s] if type(s) is int else s(cols, n) for s in slots], n
+
+
+def _run_union_all(plan: UnionAll, ctx: RunContext, block_rows: int) -> Iterator[Block]:
+    for child, branch in zip(plan.inputs, plan.input_columns):
+        child_columns = list(child.output_columns)
+        indexes = [child_columns.index(c) for c in branch]
+        for cols, n in execute_blocks(child, ctx, block_rows):
+            yield [cols[i] for i in indexes], n
+
+
+def _run_limit(plan: Limit, ctx: RunContext, block_rows: int) -> Iterator[Block]:
+    remaining = plan.count
+    if remaining <= 0:
+        return
+    for cols, n in execute_blocks(plan.child, ctx, block_rows):
+        if n >= remaining:
+            if n > remaining:
+                cols = [c[:remaining] for c in cols]
+                n = remaining
+            yield cols, n
+            return
+        remaining -= n
+        yield cols, n
+
+
+# -- joins ---------------------------------------------------------------
+
+
+def _run_join(plan: Join, ctx: RunContext, block_rows: int) -> Iterator[Block]:
+    left_columns = plan.left.output_columns
+    right_columns = plan.right.output_columns
+    out_width = len(plan.output_columns)
+
+    if plan.kind is JoinKind.CROSS:
+        right_rows = list(_iter_rows(plan.right, ctx, block_rows))
+        ctx.state_add(len(right_rows))
+        try:
+            for cols, n in execute_blocks(plan.left, ctx, block_rows):
+                buf = []
+                for left_row in _block_rows(cols, n):
+                    for right_row in right_rows:
+                        buf.append(left_row + right_row)
+                        if len(buf) >= block_rows:
+                            yield _rows_block(buf, out_width)
+                            buf = []
+                if buf:
+                    yield _rows_block(buf, out_width)
+        finally:
+            ctx.state_remove(len(right_rows))
+        return
+
+    equi, residual = _split_join_condition(plan.condition, left_columns, right_columns)
+    combined = left_columns + right_columns
+    residual_fn = (
+        None if residual == TRUE else compile_expression(residual, combined, ctx.env)
+    )
+    pad = (None,) * len(right_columns)
+    semi_like = plan.kind in (JoinKind.SEMI, JoinKind.ANTI)
+    kind = plan.kind
+
+    if equi:
+        left_keys = [
+            compile_expression_batch(l, left_columns, ctx.env) for l, _ in equi
+        ]
+        right_keys = [
+            compile_expression_batch(r, right_columns, ctx.env) for _, r in equi
+        ]
+        table: dict[tuple, list[Row]] = {}
+        build_rows = 0
+        for cols, n in execute_blocks(plan.right, ctx, block_rows):
+            key_vectors = [fn(cols, n) for fn in right_keys]
+            # zip(*) builds key tuples at C speed; key values are plain
+            # scalars, so ``None in key`` is an identity test.
+            for row, key in zip(_block_rows(cols, n), zip(*key_vectors)):
+                if None in key:
+                    continue  # NULL keys never join
+                table.setdefault(key, []).append(row)
+                build_rows += 1
+        ctx.state_add(build_rows)
+        try:
+            table_get = table.get
+            for cols, n in execute_blocks(plan.left, ctx, block_rows):
+                key_vectors = [fn(cols, n) for fn in left_keys]
+                buf = []
+                for left_row, key in zip(_block_rows(cols, n), zip(*key_vectors)):
+                    matched = False
+                    if None not in key:
+                        for right_row in table_get(key, ()):
+                            if (
+                                residual_fn is None
+                                or residual_fn(left_row + right_row) is True
+                            ):
+                                matched = True
+                                if kind is JoinKind.SEMI:
+                                    break
+                                if kind in (JoinKind.INNER, JoinKind.LEFT):
+                                    buf.append(left_row + right_row)
+                    if semi_like:
+                        if matched == (kind is JoinKind.SEMI):
+                            buf.append(left_row)
+                    elif kind is JoinKind.LEFT and not matched:
+                        buf.append(left_row + pad)
+                    if len(buf) >= block_rows:
+                        yield _rows_block(buf, out_width)
+                        buf = []
+                if buf:
+                    yield _rows_block(buf, out_width)
+        finally:
+            ctx.state_remove(build_rows)
+        return
+
+    # No hashable equi-conjuncts: nested loop against a materialized right.
+    right_rows = list(_iter_rows(plan.right, ctx, block_rows))
+    ctx.state_add(len(right_rows))
+    try:
+        for cols, n in execute_blocks(plan.left, ctx, block_rows):
+            buf = []
+            for left_row in _block_rows(cols, n):
+                matched = False
+                for right_row in right_rows:
+                    if residual_fn is None or residual_fn(left_row + right_row) is True:
+                        matched = True
+                        if kind is JoinKind.SEMI:
+                            break
+                        if kind in (JoinKind.INNER, JoinKind.LEFT):
+                            buf.append(left_row + right_row)
+                if semi_like:
+                    if matched == (kind is JoinKind.SEMI):
+                        buf.append(left_row)
+                elif kind is JoinKind.LEFT and not matched:
+                    buf.append(left_row + pad)
+                if len(buf) >= block_rows:
+                    yield _rows_block(buf, out_width)
+                    buf = []
+            if buf:
+                yield _rows_block(buf, out_width)
+    finally:
+        ctx.state_remove(len(right_rows))
+
+
+# -- aggregation ---------------------------------------------------------
+
+
+def _run_group_by(plan: GroupBy, ctx: RunContext, block_rows: int) -> Iterator[Block]:
+    child_columns = plan.child.output_columns
+    key_fns = [
+        compile_expression_batch(ColumnRef(k), child_columns, ctx.env)
+        for k in plan.keys
+    ]
+    # Shared-expression slots, as in the row engine (§III.E): each
+    # distinct argument/mask expression is evaluated once per block.
+    shared_fns: list = []
+    shared_index: dict = {}
+
+    def shared(expr) -> int:
+        slot = shared_index.get(expr)
+        if slot is None:
+            slot = len(shared_fns)
+            shared_index[expr] = slot
+            shared_fns.append(compile_expression_batch(expr, child_columns, ctx.env))
+        return slot
+
+    agg_specs = []
+    for assignment in plan.aggregates:
+        arg_slot = None if assignment.argument is None else shared(assignment.argument)
+        mask_slot = None if assignment.mask == TRUE else shared(assignment.mask)
+        agg_specs.append((assignment.func, assignment.distinct, arg_slot, mask_slot))
+
+    out_width = len(plan.keys) + len(plan.aggregates)
+    groups: dict[tuple, list[Aggregator]] = {}
+    group_count = 0
+    try:
+        if not plan.keys:
+            # Scalar aggregation: one accumulator set fed whole column
+            # vectors at a time — no per-row dispatch at all.
+            accumulators: list[Aggregator] | None = None
+            for cols, n in execute_blocks(plan.child, ctx, block_rows):
+                if accumulators is None:
+                    accumulators = [Aggregator(f, d) for f, d, _, _ in agg_specs]
+                    groups[()] = accumulators
+                    group_count += 1
+                    ctx.state_add(1)
+                values = [fn(cols, n) for fn in shared_fns]
+                for acc, (_, _, arg_slot, mask_slot) in zip(accumulators, agg_specs):
+                    acc.add_block(
+                        None if arg_slot is None else values[arg_slot],
+                        None if mask_slot is None else values[mask_slot],
+                        n,
+                    )
+        else:
+            for cols, n in execute_blocks(plan.child, ctx, block_rows):
+                key_vectors = [fn(cols, n) for fn in key_fns]
+                values = [fn(cols, n) for fn in shared_fns]
+                # zip(*) builds the key tuples at C speed.
+                for i, key in enumerate(zip(*key_vectors)):
+                    accumulators = groups.get(key)
+                    if accumulators is None:
+                        accumulators = [Aggregator(f, d) for f, d, _, _ in agg_specs]
+                        groups[key] = accumulators
+                        group_count += 1
+                        ctx.state_add(1)
+                    for acc, (_, _, arg_slot, mask_slot) in zip(
+                        accumulators, agg_specs
+                    ):
+                        if mask_slot is not None and values[mask_slot][i] is not True:
+                            continue
+                        if arg_slot is None:
+                            acc.add_count_star()
+                        else:
+                            acc.add(values[arg_slot][i])
+        if plan.is_scalar and not groups:
+            accumulators = [Aggregator(f, d) for f, d, _, _ in agg_specs]
+            yield _rows_block(
+                [tuple(acc.result() for acc in accumulators)], out_width
+            )
+            return
+        out_rows = [
+            key + tuple(acc.result() for acc in accumulators)
+            for key, accumulators in groups.items()
+        ]
+        yield from _blocks_from_row_list(out_rows, out_width, block_rows)
+    finally:
+        ctx.state_remove(group_count)
+
+
+def _run_mark_distinct(
+    plan: MarkDistinct, ctx: RunContext, block_rows: int
+) -> Iterator[Block]:
+    """Whole-chain MarkDistinct, mirroring the row engine's holistic
+    single-pass treatment, block by block."""
+    chain: list[MarkDistinct] = [plan]
+    cursor = plan.child
+    while isinstance(cursor, MarkDistinct):
+        chain.append(cursor)
+        cursor = cursor.child
+    chain.reverse()
+
+    base_columns = cursor.output_columns
+    col_index = {c.cid: i for i, c in enumerate(base_columns)}
+    specs: list[tuple[list[int], object]] = []
+    schema = tuple(base_columns)
+    for node in chain:
+        try:
+            indexes = [col_index[c.cid] for c in node.columns]
+        except KeyError as exc:
+            raise ExecutionError(
+                f"MarkDistinct references unavailable column: {exc}"
+            ) from None
+        mask_fn = (
+            None
+            if node.mask == TRUE
+            else compile_expression(node.mask, schema, ctx.env)
+        )
+        specs.append((indexes, mask_fn))
+        col_index[node.marker.cid] = len(schema)
+        schema = schema + (node.marker,)
+    out_width = len(schema)
+    seen_sets: list[set] = [set() for _ in chain]
+    added = 0
+    try:
+        for cols, n in execute_blocks(cursor, ctx, block_rows):
+            buf = []
+            for row in _block_rows(cols, n):
+                extended = list(row)
+                for (indexes, mask_fn), seen in zip(specs, seen_sets):
+                    if mask_fn is not None and mask_fn(extended) is not True:
+                        extended.append(False)
+                        continue
+                    key = tuple(extended[i] for i in indexes)
+                    if key in seen:
+                        extended.append(False)
+                    else:
+                        seen.add(key)
+                        added += 1
+                        ctx.state_add(1)
+                        extended.append(True)
+                buf.append(tuple(extended))
+            if buf:
+                yield _rows_block(buf, out_width)
+    finally:
+        ctx.state_remove(added)
+
+
+def _run_window(plan: Window, ctx: RunContext, block_rows: int) -> Iterator[Block]:
+    child_columns = plan.child.output_columns
+    part_indexes = [list(child_columns).index(c) for c in plan.partition_by]
+    arg_fns = [
+        None
+        if f.argument is None
+        else compile_expression(f.argument, child_columns, ctx.env)
+        for f in plan.functions
+    ]
+    out_width = len(plan.output_columns)
+    rows = list(_iter_rows(plan.child, ctx, block_rows))
+    ctx.state_add(len(rows))
+    try:
+        partitions: dict[tuple, list[Aggregator]] = {}
+        for row in rows:
+            key = tuple(row[i] for i in part_indexes)
+            accumulators = partitions.get(key)
+            if accumulators is None:
+                accumulators = [Aggregator(f.func) for f in plan.functions]
+                partitions[key] = accumulators
+            for acc, arg_fn in zip(accumulators, arg_fns):
+                if arg_fn is None:
+                    acc.add_count_star()
+                else:
+                    acc.add(arg_fn(row))
+        results = {
+            key: tuple(acc.result() for acc in accumulators)
+            for key, accumulators in partitions.items()
+        }
+        out_rows = [
+            row + results[tuple(row[i] for i in part_indexes)] for row in rows
+        ]
+        yield from _blocks_from_row_list(out_rows, out_width, block_rows)
+    finally:
+        ctx.state_remove(len(rows))
+
+
+# -- sorting, scalar plumbing, spools ------------------------------------
+
+
+def _run_sort(plan: Sort, ctx: RunContext, block_rows: int) -> Iterator[Block]:
+    rows = list(_iter_rows(plan.child, ctx, block_rows))
+    ctx.state_add(len(rows))
+    try:
+        child_columns = plan.child.output_columns
+        for key in reversed(plan.keys):
+            fn = compile_expression(key.expression, child_columns, ctx.env)
+
+            def sort_key(row: Row, fn=fn) -> tuple:
+                value = fn(row)
+                return (1,) if value is None else (0, value)
+
+            rows.sort(key=sort_key, reverse=not key.ascending)
+        yield from _blocks_from_row_list(
+            rows, len(plan.output_columns), block_rows
+        )
+    finally:
+        ctx.state_remove(len(rows))
+
+
+def _run_enforce_single_row(
+    plan: EnforceSingleRow, ctx: RunContext, block_rows: int
+) -> Iterator[Block]:
+    width = len(plan.output_columns)
+    rows = list(islice(_iter_rows(plan.child, ctx, block_rows), 2))
+    if len(rows) > 1:
+        raise ExecutionError("scalar subquery returned more than one row")
+    if rows:
+        yield _rows_block(rows, width)
+    else:
+        yield _rows_block([(None,) * width], width)
+
+
+def _run_scalar_apply(
+    plan: ScalarApply, ctx: RunContext, block_rows: int
+) -> Iterator[Block]:
+    input_columns = plan.input.output_columns
+    value_index = list(plan.subquery.output_columns).index(plan.value)
+    out_width = len(plan.output_columns)
+    for cols, n in execute_blocks(plan.input, ctx, block_rows):
+        buf = []
+        for row in _block_rows(cols, n):
+            for column, value in zip(input_columns, row):
+                ctx.env[column.cid] = value
+            sub_rows = list(islice(_iter_rows(plan.subquery, ctx, block_rows), 2))
+            if len(sub_rows) > 1:
+                raise ExecutionError(
+                    "correlated scalar subquery returned more than one row"
+                )
+            value = sub_rows[0][value_index] if sub_rows else None
+            buf.append(row + (value,))
+        if buf:
+            yield _rows_block(buf, out_width)
+
+
+def _run_spool(plan: Spool, ctx: RunContext, block_rows: int) -> Iterator[Block]:
+    # The cache holds row tuples — the same representation the row
+    # engine materializes — so both engines report identical spool
+    # metrics and could even share a warm cache.
+    cache = ctx.spool_cache.get(plan.spool_id)
+    if cache is None:
+        cache = list(_iter_rows(plan.child, ctx, block_rows))
+        ctx.spool_cache[plan.spool_id] = cache
+        ctx.state_add(len(cache))
+        ctx.metrics.spooled_rows += len(cache)
+    ctx.metrics.spool_read_rows += len(cache)
+    return _blocks_from_row_list(cache, len(plan.output_columns), block_rows)

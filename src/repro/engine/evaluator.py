@@ -42,15 +42,23 @@ def column_indexes(columns: tuple[Column, ...]) -> dict[int, int]:
     return {col.cid: i for i, col in enumerate(columns)}
 
 
+# Compiled LIKE patterns are shared process-wide.  The cache is a
+# small LRU (dicts preserve insertion order; a hit reinserts the key)
+# so a long-lived session evaluating many distinct patterns cannot grow
+# it without bound.
 _LIKE_CACHE: dict[str, re.Pattern] = {}
+_LIKE_CACHE_MAX = 256
 
 
 def _like_pattern(pattern: str) -> re.Pattern:
-    compiled = _LIKE_CACHE.get(pattern)
-    if compiled is None:
+    try:
+        compiled = _LIKE_CACHE.pop(pattern)
+    except KeyError:
         regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
         compiled = re.compile(f"^{regex}$", re.DOTALL)
-        _LIKE_CACHE[pattern] = compiled
+        if len(_LIKE_CACHE) >= _LIKE_CACHE_MAX:
+            del _LIKE_CACHE[next(iter(_LIKE_CACHE))]
+    _LIKE_CACHE[pattern] = compiled
     return compiled
 
 
@@ -283,6 +291,235 @@ def compile_expression(
     return build(expr)
 
 
+#: A batch closure: (column vectors, row count) -> value vector.
+#: ``cols`` holds one Python list per schema column; the function
+#: returns a list of ``row count`` values.  Closures never mutate input
+#: vectors and may return a column vector by reference (pass-through
+#: column refs are zero-copy).
+BatchFn = Callable[[list, int], list]
+
+
+def compile_expression_batch(
+    expr: Expression,
+    columns: tuple[Column, ...],
+    env: dict[int, object] | None = None,
+) -> BatchFn:
+    """Compile ``expr`` into a ``(cols, n) -> values`` vector closure.
+
+    Semantics are identical to :func:`compile_expression` applied to
+    each row — same 3VL NULL handling, Kleene AND/OR, LIKE cache — but
+    evaluation runs one list comprehension per expression node per
+    block instead of a closure-tree call per row.  CASE falls back to
+    row-at-a-time evaluation to preserve its lazy branch semantics.
+    """
+    indexes = column_indexes(columns)
+
+    def rowwise(node: Expression) -> BatchFn:
+        # Fallback: evaluate with the scalar compiler over zipped rows.
+        scalar = compile_expression(node, columns, env)
+
+        def eval_rows(cols: list, n: int) -> list:
+            if not cols:
+                empty = ()
+                return [scalar(empty) for _ in range(n)]
+            return [scalar(row) for row in zip(*cols)]
+
+        return eval_rows
+
+    def build(node: Expression) -> BatchFn:
+        if isinstance(node, Literal):
+            value = node.value
+            return lambda cols, n: [value] * n
+        if isinstance(node, ColumnRef):
+            cid = node.column.cid
+            index = indexes.get(cid)
+            if index is not None:
+                return lambda cols, n: cols[index]
+            if env is None:
+                raise ExecutionError(
+                    f"column {node.column!r} is not available in this row schema"
+                )
+
+            def read_env(cols: list, n: int, cid: int = cid) -> list:
+                try:
+                    return [env[cid]] * n
+                except KeyError:
+                    raise ExecutionError(
+                        f"unbound correlated column id {cid}"
+                    ) from None
+
+            return read_env
+        if isinstance(node, Comparison):
+            op = node.op
+            left = build(node.left)
+            if isinstance(node.right, Literal) and node.right.value is not None:
+                k = node.right.value
+                if op == "=":
+                    return lambda cols, n: [
+                        None if a is None else a == k for a in left(cols, n)
+                    ]
+                if op == "<>":
+                    return lambda cols, n: [
+                        None if a is None else a != k for a in left(cols, n)
+                    ]
+                if op == "<":
+                    return lambda cols, n: [
+                        None if a is None else a < k for a in left(cols, n)
+                    ]
+                if op == "<=":
+                    return lambda cols, n: [
+                        None if a is None else a <= k for a in left(cols, n)
+                    ]
+                if op == ">":
+                    return lambda cols, n: [
+                        None if a is None else a > k for a in left(cols, n)
+                    ]
+                if op == ">=":
+                    return lambda cols, n: [
+                        None if a is None else a >= k for a in left(cols, n)
+                    ]
+            right = build(node.right)
+            if op == "=":
+                return lambda cols, n: [
+                    None if a is None or b is None else a == b
+                    for a, b in zip(left(cols, n), right(cols, n))
+                ]
+            if op == "<>":
+                return lambda cols, n: [
+                    None if a is None or b is None else a != b
+                    for a, b in zip(left(cols, n), right(cols, n))
+                ]
+            if op == "<":
+                return lambda cols, n: [
+                    None if a is None or b is None else a < b
+                    for a, b in zip(left(cols, n), right(cols, n))
+                ]
+            if op == "<=":
+                return lambda cols, n: [
+                    None if a is None or b is None else a <= b
+                    for a, b in zip(left(cols, n), right(cols, n))
+                ]
+            if op == ">":
+                return lambda cols, n: [
+                    None if a is None or b is None else a > b
+                    for a, b in zip(left(cols, n), right(cols, n))
+                ]
+            return lambda cols, n: [
+                None if a is None or b is None else a >= b
+                for a, b in zip(left(cols, n), right(cols, n))
+            ]
+        if isinstance(node, And):
+            terms = [build(t) for t in node.terms]
+
+            def eval_and(cols: list, n: int) -> list:
+                out = terms[0](cols, n)
+                if len(terms) == 1:
+                    return [
+                        False if a is False else (None if a is None else True)
+                        for a in out
+                    ]
+                for term in terms[1:]:
+                    out = [
+                        False
+                        if a is False or b is False
+                        else (None if a is None or b is None else True)
+                        for a, b in zip(out, term(cols, n))
+                    ]
+                return out
+
+            return eval_and
+        if isinstance(node, Or):
+            terms = [build(t) for t in node.terms]
+
+            def eval_or(cols: list, n: int) -> list:
+                # The scalar compiler treats only identity-True as true
+                # here (``value is True``); mirror that exactly.
+                out = terms[0](cols, n)
+                if len(terms) == 1:
+                    return [
+                        True if a is True else (None if a is None else False)
+                        for a in out
+                    ]
+                for term in terms[1:]:
+                    out = [
+                        True
+                        if a is True or b is True
+                        else (None if a is None or b is None else False)
+                        for a, b in zip(out, term(cols, n))
+                    ]
+                return out
+
+            return eval_or
+        if isinstance(node, Not):
+            term = build(node.term)
+            return lambda cols, n: [
+                None if v is None else not v for v in term(cols, n)
+            ]
+        if isinstance(node, Arithmetic):
+            left = build(node.left)
+            right = build(node.right)
+            op = node.op
+            if op == "+":
+                return lambda cols, n: [
+                    None if a is None or b is None else a + b
+                    for a, b in zip(left(cols, n), right(cols, n))
+                ]
+            if op == "-":
+                return lambda cols, n: [
+                    None if a is None or b is None else a - b
+                    for a, b in zip(left(cols, n), right(cols, n))
+                ]
+            if op == "*":
+                return lambda cols, n: [
+                    None if a is None or b is None else a * b
+                    for a, b in zip(left(cols, n), right(cols, n))
+                ]
+            # Division mirrors the scalar compiler: NULL on zero divisor.
+            return lambda cols, n: [
+                None if a is None or b is None or b == 0 else a / b
+                for a, b in zip(left(cols, n), right(cols, n))
+            ]
+        if isinstance(node, IsNull):
+            operand = build(node.operand)
+            return lambda cols, n: [v is None for v in operand(cols, n)]
+        if isinstance(node, InList):
+            if all(isinstance(i, Literal) for i in node.items):
+                operand = build(node.operand)
+                candidates = [i.value for i in node.items if i.value is not None]
+                # A NULL item makes every non-match NULL instead of False.
+                miss = None if len(candidates) != len(node.items) else False
+                return lambda cols, n: [
+                    None if v is None else (True if v in candidates else miss)
+                    for v in operand(cols, n)
+                ]
+            return rowwise(node)
+        if isinstance(node, Like):
+            operand = build(node.operand)
+            match = _like_pattern(node.pattern).match
+            return lambda cols, n: [
+                None if v is None else match(str(v)) is not None
+                for v in operand(cols, n)
+            ]
+        if isinstance(node, Case):
+            # CASE evaluates branches lazily; keep the scalar semantics.
+            return rowwise(node)
+        if isinstance(node, FunctionCall):
+            impl = SCALAR_FUNCTIONS.get(node.name.lower())
+            if impl is None:
+                raise ExecutionError(f"unknown scalar function {node.name!r}")
+            args = [build(a) for a in node.args]
+            if not args:
+                return lambda cols, n: [impl([]) for _ in range(n)]
+
+            def eval_call(cols: list, n: int) -> list:
+                return [impl(list(t)) for t in zip(*(a(cols, n) for a in args))]
+
+            return eval_call
+        raise ExecutionError(f"cannot evaluate expression {node!r}")
+
+    return build(expr)
+
+
 class Aggregator:
     """Incremental aggregate accumulator (one per aggregate per group).
 
@@ -332,6 +569,60 @@ class Aggregator:
 
     def add_count_star(self) -> None:
         self.count += 1
+
+    def add_block(self, values: list | None, mask: list | None, n: int) -> None:
+        """Accumulate a whole column vector (batch-engine hot path).
+
+        ``values is None`` means ``count(*)``.  ``mask`` restricts the
+        update to rows whose mask value is identity-``True`` (the same
+        test the row engine applies per row).  Accumulation order and
+        arithmetic match ``add`` exactly, so float totals are
+        bit-identical to the row engine's.
+        """
+        if values is None:
+            if mask is None:
+                self.count += n
+            else:
+                self.count += sum(1 for m in mask if m is True)
+            return
+        if mask is not None:
+            values = [v for v, m in zip(values, mask) if m is True]
+        if self.seen is not None:
+            for value in values:
+                self.add(value)
+            return
+        func = self.func
+        if func == "count":
+            self.count += sum(1 for v in values if v is not None)
+        elif func in ("sum", "avg"):
+            # Left-to-right += per value, not sum(): keeps float
+            # rounding identical to the incremental row engine.
+            count = self.count
+            total = self.total
+            for v in values:
+                if v is not None:
+                    count += 1
+                    total += v
+            self.count = count
+            self.total = total
+        elif func == "min":
+            live = [v for v in values if v is not None]
+            if live:
+                lo = min(live)
+                if self.extreme is None or lo < self.extreme:
+                    self.extreme = lo
+        elif func == "max":
+            live = [v for v in values if v is not None]
+            if live:
+                hi = max(live)
+                if self.extreme is None or hi > self.extreme:
+                    self.extreme = hi
+        elif func == "stddev_samp":
+            for v in values:
+                if v is not None:
+                    self.count += 1
+                    self.total += v
+                    self.sq_total += v * v
 
     def result(self) -> object:
         func = self.func

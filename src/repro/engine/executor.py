@@ -26,6 +26,7 @@ from repro.algebra.expressions import (
     Comparison,
     Expression,
     InList,
+    IsNull,
     Literal,
     columns_in,
     conjuncts,
@@ -50,7 +51,11 @@ from repro.algebra.operators import (
     Window,
 )
 from repro.algebra.schema import Column
-from repro.engine.evaluator import Aggregator, compile_expression
+from repro.engine.evaluator import (
+    Aggregator,
+    compile_expression,
+    compile_expression_batch,
+)
 from repro.engine.metrics import RunContext
 from repro.errors import ExecutionError
 from repro.storage.columnar import ColumnChunk
@@ -110,6 +115,8 @@ def _run_spool(plan: "Spool", ctx: RunContext) -> Iterator[Row]:
 
 # -- scans ---------------------------------------------------------------
 
+_NO_ROW = object()
+
 
 def _partition_pruner(scan: Scan) -> Callable[[ColumnChunk], bool] | None:
     """Build a chunk-level min/max check from the scan predicate's
@@ -126,6 +133,11 @@ def _partition_pruner(scan: Scan) -> Callable[[ColumnChunk], bool] | None:
         return None
 
     for term in conjuncts(scan.predicate):
+        if isinstance(term, IsNull):
+            # IS NULL never prunes: chunk min/max are computed over
+            # non-NULL values only, so a partition whose stats look
+            # fully bounded can still contain NULLs.
+            continue
         if isinstance(term, Comparison):
             left, right, op = term.left, term.right, term.op
             if isinstance(right, ColumnRef) and isinstance(left, Literal):
@@ -191,6 +203,25 @@ def _in_check(name: str, values: list[object]) -> Callable[[ColumnChunk], bool]:
     return check
 
 
+def scan_predicate(plan: Scan, ctx: RunContext, mode: str = "row") -> Callable:
+    """Fetch (or compile and memoize) the scan's compiled predicate.
+
+    Cached per :class:`RunContext`: within one execution the
+    correlation environment is a single dict, so a Scan re-executed
+    many times (ScalarApply re-runs its subquery per outer row)
+    compiles its predicate once instead of once per run.
+    """
+    key = (id(plan), mode)
+    predicate = ctx.scan_predicate_cache.get(key)
+    if predicate is None:
+        if mode == "row":
+            predicate = compile_expression(plan.predicate, plan.columns, ctx.env)
+        else:
+            predicate = compile_expression_batch(plan.predicate, plan.columns, ctx.env)
+        ctx.scan_predicate_cache[key] = predicate
+    return predicate
+
+
 def _run_scan(plan: Scan, ctx: RunContext) -> Iterator[Row]:
     rows = ctx.store.scan(
         plan.table,
@@ -201,7 +232,15 @@ def _run_scan(plan: Scan, ctx: RunContext) -> Iterator[Row]:
     if plan.predicate is None:
         yield from rows
         return
-    predicate = compile_expression(plan.predicate, plan.columns, ctx.env)
+    # Compilation is deferred until the first row arrives: a scan whose
+    # partitions were all pruned (or whose table is empty) never pays
+    # for compiling its predicate.
+    first = next(rows, _NO_ROW)
+    if first is _NO_ROW:
+        return
+    predicate = scan_predicate(plan, ctx)
+    if predicate(first) is True:
+        yield first
     for row in rows:
         if predicate(row) is True:
             yield row

@@ -73,6 +73,11 @@ class RunContext:
         self.metrics = QueryMetrics()
         self.env: dict[int, object] = {}
         self.spool_cache: dict[int, list[tuple]] = {}
+        #: Compiled scan predicates, keyed by (id(plan), engine mode).
+        #: Plans outlive their RunContext, so identity keys are stable;
+        #: caching here lets ScalarApply re-execute a subquery without
+        #: recompiling its scan predicates on every outer row.
+        self.scan_predicate_cache: dict[tuple, object] = {}
         self._state_rows = 0
 
     @property

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.algebra.operators import PlanNode
 from repro.algebra.printer import explain
 from repro.catalog.catalog import Catalog
+from repro.engine.batch_executor import execute_batch
 from repro.engine.executor import execute
 from repro.engine.metrics import QueryMetrics, RunContext, Stopwatch
 from repro.optimizer.config import OptimizerConfig
@@ -57,12 +58,19 @@ class Session:
         return optimized, bound.column_names
 
     def execute(self, sql: str) -> QueryResult:
-        """Run a SQL query end to end."""
+        """Run a SQL query end to end with the configured engine."""
         bound = self._binder.bind_sql(sql)
         optimized, opt_ctx = optimize(bound.plan, self.catalog, self.config)
         run_ctx = RunContext(self.store)
         with Stopwatch(run_ctx.metrics):
-            rows = list(execute(optimized, run_ctx))
+            if self.config.engine == "batch":
+                rows = list(
+                    execute_batch(
+                        optimized, run_ctx, block_rows=self.config.batch_rows
+                    )
+                )
+            else:
+                rows = list(execute(optimized, run_ctx))
         run_ctx.metrics.rows_output = len(rows)
         return QueryResult(
             bound.column_names,

@@ -42,6 +42,14 @@ class OptimizerConfig:
     #: the paper's engine does not have it yet, and the ablation bench
     #: compares fusion vs spooling explicitly.
     enable_spooling: bool = False
+    #: Execution backend: ``"batch"`` streams ~``batch_rows``-row
+    #: column blocks through vectorized operators (the default — it
+    #: amortizes the interpreter's per-row overhead); ``"row"`` is the
+    #: original tuple-at-a-time streaming executor.  Both produce
+    #: identical results and scan/spool metrics (tests/test_engine_ab.py).
+    engine: str = "batch"
+    #: Rows per block for the batch engine.
+    batch_rows: int = 1024
     #: When True, distinct aggregates are lowered to MarkDistinct
     #: *before* the fusion rules run, exercising §III.F's MarkDistinct
     #: fusion on e.g. TPC-DS Q28.  The default lowers after fusion,
@@ -49,6 +57,14 @@ class OptimizerConfig:
     #: merges the distinct flags directly); the ablation benchmark
     #: compares both orders.
     lower_distinct_before_fusion: bool = False
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("row", "batch"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}: expected 'row' or 'batch'"
+            )
+        if self.batch_rows <= 0:
+            raise ValueError("batch_rows must be positive")
 
     def fusion_rules_enabled(self) -> bool:
         return self.enable_fusion and (

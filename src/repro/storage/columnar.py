@@ -197,18 +197,25 @@ class Store:
                     ),
                 )
 
-    def scan(
+    def scan_blocks(
         self,
         table_name: str,
         columns: Sequence[str],
         accounting,
         partition_predicate: Callable[[ColumnChunk], bool] | None = None,
-    ) -> Iterator[tuple]:
-        """Stream rows of the requested columns, charging accounting.
+        block_rows: int | None = None,
+    ) -> Iterator[tuple[list[list], int]]:
+        """Columnar fast path: yield ``(column_vectors, row_count)``
+        blocks of the requested columns, charging accounting.
 
         ``partition_predicate`` receives the *partition column's* chunk
         (with min/max) and returns False to prune the whole partition —
-        pruned partitions are never charged.
+        pruned partitions are never charged.  With ``block_rows`` set,
+        partitions larger than the limit are sliced into consecutive
+        blocks (never spanning a partition boundary); accounting is
+        identical either way, since it is charged per partition chunk.
+        Callers must treat the yielded vectors as immutable: small
+        partitions hand out the stored chunk lists by reference.
         """
         stored = self.get(table_name)
         accounting.record_scan(stored.name)
@@ -223,4 +230,30 @@ class Store:
                 chunk = part.chunk(name)
                 accounting.record_chunk(stored.name, chunk.encoded_size)
                 vectors.append(chunk.values)
-            yield from zip(*vectors) if vectors else iter(() for _ in range(part.row_count))
+            total = part.row_count
+            if block_rows is None or total <= block_rows:
+                yield vectors, total
+            else:
+                for start in range(0, total, block_rows):
+                    end = min(start + block_rows, total)
+                    yield [v[start:end] for v in vectors], end - start
+
+    def scan(
+        self,
+        table_name: str,
+        columns: Sequence[str],
+        accounting,
+        partition_predicate: Callable[[ColumnChunk], bool] | None = None,
+    ) -> Iterator[tuple]:
+        """Stream rows of the requested columns, charging accounting.
+
+        Row-tuple view over :meth:`scan_blocks` (same pruning, same
+        accounting by construction).
+        """
+        for vectors, count in self.scan_blocks(
+            table_name, columns, accounting, partition_predicate
+        ):
+            if vectors:
+                yield from zip(*vectors)
+            else:
+                yield from (() for _ in range(count))

@@ -199,3 +199,108 @@ class TestAggregators:
         for v in (5, 5, 3):
             acc.add(v)
         assert acc.result() == 8
+
+
+class TestLikeCacheBound:
+    """The process-wide LIKE pattern cache must stay bounded (it lives
+    for the whole session) and keep hot patterns resident."""
+
+    def test_cache_never_exceeds_cap(self):
+        from repro.engine import evaluator
+
+        evaluator._LIKE_CACHE.clear()
+        for i in range(evaluator._LIKE_CACHE_MAX * 2):
+            evaluator._like_pattern(f"prefix{i}%")
+        assert len(evaluator._LIKE_CACHE) == evaluator._LIKE_CACHE_MAX
+
+    def test_hits_return_same_compiled_pattern(self):
+        from repro.engine import evaluator
+
+        first = evaluator._like_pattern("Smi%")
+        assert evaluator._like_pattern("Smi%") is first
+
+    def test_lru_keeps_recently_used(self):
+        from repro.engine import evaluator
+
+        evaluator._LIKE_CACHE.clear()
+        hot = evaluator._like_pattern("hot%")
+        for i in range(evaluator._LIKE_CACHE_MAX - 1):
+            evaluator._like_pattern(f"cold{i}%")
+        # Touch the hot pattern, then overflow the cache: the oldest
+        # *cold* pattern is evicted, not the recently used hot one.
+        assert evaluator._like_pattern("hot%") is hot
+        evaluator._like_pattern("overflow%")
+        assert "hot%" in evaluator._LIKE_CACHE
+        assert "cold0%" not in evaluator._LIKE_CACHE
+
+
+class TestBatchCompilation:
+    """Deterministic spot-checks of the vector compiler's edge
+    semantics (the property suite cross-checks it against the scalar
+    compiler more broadly)."""
+
+    def _run(self, expr, block):
+        from repro.engine.evaluator import compile_expression_batch
+
+        cols = [list(c) for c in zip(*block)] if block else [[] for _ in COLS]
+        return compile_expression_batch(expr, COLS)(cols, len(block))
+
+    def test_division_by_zero_is_null(self):
+        expr = Arithmetic("/", A, B)
+        assert self._run(expr, [(10, 2), (10, 0), (None, 2)]) == [5.0, None, None]
+
+    def test_in_list_with_null_item(self):
+        expr = InList(A, (integer(1), Literal(None, I), integer(3)))
+        assert self._run(expr, [(1, 0), (2, 0), (None, 0)]) == [True, None, None]
+
+    def test_like_null_operand(self):
+        cols = (Column(1, "s", DataType.STRING), Column(2, "t", DataType.STRING))
+        from repro.engine.evaluator import compile_expression_batch
+
+        fn = compile_expression_batch(Like(ColumnRef(cols[0]), "Sm%"), cols)
+        assert fn([["Smith", None, "Jones"], ["x", "y", "z"]], 3) == [
+            True,
+            None,
+            False,
+        ]
+
+    def test_case_stays_lazy(self):
+        # CASE WHEN b = 0 THEN -1 ELSE a / b END: the lazy ELSE branch
+        # must not be evaluated for the zero-divisor row.
+        expr = Case(
+            ((Comparison("=", B, integer(0)), integer(-1)),),
+            Arithmetic("/", A, B),
+        )
+        assert self._run(expr, [(10, 0), (10, 5)]) == [-1, 2.0]
+
+    def test_function_call_vectorized(self):
+        cols = (Column(1, "s", DataType.STRING), Column(2, "t", DataType.STRING))
+        from repro.engine.evaluator import compile_expression_batch
+
+        fn = compile_expression_batch(
+            FunctionCall("upper", (ColumnRef(cols[0]),)), cols
+        )
+        assert fn([["ab", None], ["x", "y"]], 2) == ["AB", None]
+
+    def test_correlated_column_reads_env_at_call_time(self):
+        from repro.engine.evaluator import compile_expression_batch
+
+        env = {}
+        outer = Column(99, "outer", I)
+        fn = compile_expression_batch(Comparison("=", A, ColumnRef(outer)), COLS, env)
+        env[99] = 2
+        assert fn([[1, 2], [0, 0]], 2) == [False, True]
+        env[99] = 1
+        assert fn([[1, 2], [0, 0]], 2) == [True, False]
+
+    def test_unbound_correlated_column_raises(self):
+        from repro.engine.evaluator import compile_expression_batch
+
+        outer = Column(99, "outer", I)
+        fn = compile_expression_batch(ColumnRef(outer), COLS, env={})
+        with pytest.raises(ExecutionError):
+            fn([[1], [2]], 1)
+
+    def test_empty_block(self):
+        expr = Comparison(">", A, integer(3))
+        assert self._run(expr, []) == []

@@ -401,3 +401,117 @@ class TestPlumbing:
         rows, _ = run(apply, people_store)
         by_id = {r[0]: r[-1] for r in rows}
         assert by_id[1] == 100.0 and by_id[3] == 150.0 and by_id[4] is None
+
+
+def _ledger_store():
+    """Four 2-row partitions with day ranges [1,1], [2,2], [3,3], [4,4]."""
+    from tests.conftest import simple_table
+    from repro.storage.columnar import Store
+
+    store = Store()
+    store.put(
+        simple_table(
+            "ledger",
+            [("id", I), ("day", I)],
+            [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (6, 3), (7, 4), (8, 4)],
+            primary_key=("id",),
+            partition_column="day",
+            partition_rows=2,
+        )
+    )
+    return store
+
+
+def scan_ledger():
+    cols = (alloc.fresh("id", I), alloc.fresh("day", I))
+    return Scan("ledger", cols, ("id", "day"))
+
+
+class TestPartitionPruner:
+    def test_between_shaped_conjuncts_prune_termwise(self):
+        """x >= a AND x <= b (what BETWEEN desugars to) prunes on both
+        bounds — this locks in the term-wise range behaviour."""
+        store = _ledger_store()
+        s = scan_ledger()
+        between = And(
+            (
+                Comparison(">=", ColumnRef(s.columns[1]), integer(2)),
+                Comparison("<=", ColumnRef(s.columns[1]), integer(3)),
+            )
+        )
+        rows, ctx = run(s.with_predicate(between), store)
+        assert {r[0] for r in rows} == {3, 4, 5, 6}
+        assert ctx.metrics.partitions_read == 2  # days 2 and 3 only
+
+    def test_equality_prunes_to_single_partition(self):
+        store = _ledger_store()
+        s = scan_ledger()
+        pred = Comparison("=", ColumnRef(s.columns[1]), integer(3))
+        rows, ctx = run(s.with_predicate(pred), store)
+        assert {r[0] for r in rows} == {5, 6}
+        assert ctx.metrics.partitions_read == 1
+
+    def test_is_null_never_prunes(self):
+        """Chunk min/max cover only non-NULL values, so IS NULL must
+        read every partition even though all stats look bounded."""
+        from repro.algebra.expressions import IsNull
+
+        store = _ledger_store()
+        s = scan_ledger()
+        rows, ctx = run(s.with_predicate(IsNull(ColumnRef(s.columns[1]))), store)
+        assert rows == []
+        assert ctx.metrics.partitions_read == 4
+
+    def test_is_null_conjunct_does_not_defeat_other_terms(self):
+        from repro.algebra.expressions import IsNull
+
+        store = _ledger_store()
+        s = scan_ledger()
+        pred = And(
+            (
+                Comparison(">=", ColumnRef(s.columns[1]), integer(4)),
+                IsNull(ColumnRef(s.columns[0])),
+            )
+        )
+        rows, ctx = run(s.with_predicate(pred), store)
+        assert rows == []
+        assert ctx.metrics.partitions_read == 1  # day-4 partition only
+
+
+class TestScanPredicateCompilation:
+    def _counting(self, monkeypatch):
+        import repro.engine.executor as executor_module
+        from repro.engine.evaluator import compile_expression
+
+        calls = []
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return compile_expression(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "compile_expression", counting)
+        return calls
+
+    def test_no_compile_when_all_partitions_pruned(self, monkeypatch):
+        calls = self._counting(monkeypatch)
+        store = _ledger_store()
+        s = scan_ledger()
+        pred = Comparison(">", ColumnRef(s.columns[1]), integer(100))
+        rows, ctx = run(s.with_predicate(pred), store)
+        assert rows == []
+        assert ctx.metrics.partitions_read == 0
+        assert calls == []  # nothing scanned -> predicate never compiled
+
+    def test_compiled_once_per_run_context(self, monkeypatch):
+        from repro.engine.metrics import RunContext
+
+        calls = self._counting(monkeypatch)
+        store = _ledger_store()
+        s = scan_ledger()
+        plan = s.with_predicate(
+            Comparison(">=", ColumnRef(s.columns[1]), integer(1))
+        )
+        ctx = RunContext(store)
+        assert len(list(execute(plan, ctx))) == 8
+        assert len(list(execute(plan, ctx))) == 8  # ScalarApply-style re-run
+        assert len(calls) == 1

@@ -19,7 +19,7 @@ from repro.algebra.expressions import (
 from repro.algebra.schema import Column
 from repro.algebra.simplify import is_contradiction, simplify, simplify_filter
 from repro.algebra.types import DataType
-from repro.engine.evaluator import compile_expression
+from repro.engine.evaluator import compile_expression, compile_expression_batch
 
 COLUMNS = tuple(Column(i + 1, name, DataType.INTEGER) for i, name in enumerate("abc"))
 
@@ -89,6 +89,30 @@ class TestSimplifyPreservesSemantics:
     def test_simplify_idempotent(self, expr, row):
         once = simplify(expr)
         assert simplify(once) == once
+
+
+class TestBatchCompilerEquivalence:
+    """The batch engine's vector closures must agree value-for-value
+    with the scalar compiler, including NULL identity (is None / is
+    True distinctions)."""
+
+    @given(expr=boolean_exprs(), block=st.lists(rows, min_size=0, max_size=6))
+    @settings(max_examples=300, deadline=None)
+    def test_batch_matches_scalar_per_row(self, expr, block):
+        scalar = compile_expression(expr, COLUMNS)
+        batch = compile_expression_batch(expr, COLUMNS)
+        if block:
+            cols = [list(c) for c in zip(*block)]
+        else:
+            cols = [[] for _ in COLUMNS]
+        got = batch(cols, len(block))
+        expected = [scalar(row) for row in block]
+        assert len(got) == len(expected)
+        for g, e in zip(got, expected):
+            assert g is e or g == e
+            assert (g is None) == (e is None)
+            assert (g is True) == (e is True)
+            assert (g is False) == (e is False)
 
 
 class TestContradictionSoundness:
