@@ -543,6 +543,76 @@ class ScalarApply(PlanNode):
         return {c for c in referenced if c in outer and c not in produced}
 
 
+@dataclass(frozen=True)
+class CachedScan(PlanNode):
+    """Leaf that replays a cross-query plan-cache entry.
+
+    Installed by the optimizer's reuse pass in place of a subplan whose
+    fingerprint hit the session's :class:`~repro.engine.plan_cache.
+    PlanCache`.  ``columns`` are the replaced subplan's output columns
+    (so the surrounding plan is untouched) and ``column_tokens`` name,
+    positionally, the cached per-column vectors to replay — tokens, not
+    column ids, because the entry may have been populated by an
+    alpha-equivalent plan with different ids.  ``tables`` is the cached
+    computation's lineage, kept so the node re-fingerprints exactly
+    like the subplan it replaced.
+    """
+
+    fingerprint: str
+    columns: tuple[Column, ...]
+    column_tokens: tuple[str, ...]
+    tables: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.column_tokens):
+            raise ValueError("columns and column_tokens must align")
+
+    @property
+    def output_columns(self) -> tuple[Column, ...]:
+        return self.columns
+
+
+@dataclass(frozen=True)
+class CachePopulate(PlanNode):
+    """Pass-through that materializes its child into the plan cache.
+
+    Installed by the reuse pass around promising subplans: execution
+    streams the child's rows unchanged while storing them (as column
+    vectors keyed by ``column_tokens``, positionally matching the
+    child's outputs) under ``fingerprint``.  ``table_versions`` pins
+    the catalog versions observed at plan time, so a reload between
+    population and a later lookup invalidates the entry.
+    """
+
+    child: PlanNode
+    fingerprint: str
+    column_tokens: tuple[str, ...]
+    tables: tuple[str, ...]
+    table_versions: tuple[tuple[str, int], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.column_tokens) != len(self.child.output_columns):
+            raise ValueError("column_tokens must match child arity")
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[PlanNode, ...]) -> "CachePopulate":
+        (child,) = children
+        return CachePopulate(
+            child,
+            self.fingerprint,
+            self.column_tokens,
+            self.tables,
+            self.table_versions,
+        )
+
+    @property
+    def output_columns(self) -> tuple[Column, ...]:
+        return self.child.output_columns
+
+
 def referenced_columns(node: PlanNode) -> set[Column]:
     """Columns of ``node``'s children that ``node``'s own expressions
     reference (not recursive)."""

@@ -61,12 +61,17 @@ def _describe(node: PlanNode) -> str:
         return f"Limit[{node.count}]"
     if isinstance(node, EnforceSingleRow):
         return "EnforceSingleRow"
-    from repro.algebra.operators import ScalarApply, Spool
+    from repro.algebra.operators import CachedScan, CachePopulate, ScalarApply, Spool
 
     if isinstance(node, ScalarApply):
         return f"ScalarApply[{node.output!r} := {node.value!r}]"
     if isinstance(node, Spool):
         return f"Spool[#{node.spool_id}]"
+    if isinstance(node, CachedScan):
+        cols = ", ".join(repr(c) for c in node.columns)
+        return f"CachedScan[{node.fingerprint[:12]}]({cols})"
+    if isinstance(node, CachePopulate):
+        return f"CachePopulate[{node.fingerprint[:12]}]"
     return node.name
 
 

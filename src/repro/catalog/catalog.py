@@ -85,6 +85,7 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: dict[str, TableDef] = {}
         self._column_stats: dict[tuple[str, str], ColumnStats] = {}
+        self._versions: dict[str, int] = {}
         self.allocator = ColumnAllocator()
 
     def set_column_stats(self, table: str, column: str, stats: ColumnStats) -> None:
@@ -94,7 +95,21 @@ class Catalog:
         return self._column_stats.get((table.lower(), column.lower()))
 
     def register(self, table: TableDef) -> None:
-        self._tables[table.name.lower()] = table
+        """Register (or re-register) a table definition.
+
+        Every registration bumps the table's *version*: re-registering
+        after a data reload is how cached cross-query results over the
+        old data get invalidated (``set_row_count``/``set_column_stats``
+        deliberately do not bump — statistics refreshes do not change
+        the stored bytes).
+        """
+        key = table.name.lower()
+        self._tables[key] = table
+        self._versions[key] = self._versions.get(key, 0) + 1
+
+    def table_version(self, name: str) -> int:
+        """Monotonic data version of ``name`` (0 if never registered)."""
+        return self._versions.get(name.lower(), 0)
 
     def table(self, name: str) -> TableDef:
         try:

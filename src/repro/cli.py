@@ -7,6 +7,7 @@ baseline and fusion pipelines::
     python -m repro --scale 0.2 --explain "SELECT ..."
     python -m repro --baseline "SELECT ..."         # fusion off
     python -m repro --compare "SELECT ..."          # run both, diff metrics
+    python -m repro --cache --repeat 2 "SELECT ..." # cross-query reuse cache
 
 The dataset is regenerated per invocation (it is deterministic, so
 results are stable across runs with the same ``--scale``/``--seed``).
@@ -55,6 +56,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="rows per block for the batch engine (default 1024)",
     )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the cross-query subplan result cache",
+    )
+    parser.add_argument(
+        "--cache-budget-mb",
+        type=float,
+        default=64.0,
+        help="plan-cache byte budget in MiB (default 64)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the query N times in the same session "
+        "(shows cache replay metrics with --cache)",
+    )
     return parser
 
 
@@ -76,7 +95,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     store = generate_dataset(scale=args.scale, seed=args.seed)
 
-    engine_opts = {"engine": args.engine, "batch_rows": args.batch_rows}
+    engine_opts = {
+        "engine": args.engine,
+        "batch_rows": args.batch_rows,
+        "enable_plan_cache": args.cache,
+        "cache_budget_mb": args.cache_budget_mb,
+    }
     try:
         if args.compare:
             baseline = Session(
@@ -109,6 +133,11 @@ def main(argv: list[str] | None = None) -> int:
         session = Session(store, config)
         result = session.execute(args.sql)
         _print_result(result, args.limit, args.explain)
+        for run in range(2, args.repeat + 1):
+            result = session.execute(args.sql)
+            print(f"-- run {run}: {result.metrics.summary()}")
+        if session.plan_cache is not None and args.repeat > 1:
+            print(f"-- cache: {session.plan_cache.summary()}")
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

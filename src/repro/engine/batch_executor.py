@@ -45,6 +45,8 @@ from typing import Iterator
 
 from repro.algebra.expressions import TRUE, ColumnRef
 from repro.algebra.operators import (
+    CachePopulate,
+    CachedScan,
     EnforceSingleRow,
     Filter,
     GroupBy,
@@ -68,6 +70,8 @@ from repro.engine.evaluator import (
     compile_expression_batch,
 )
 from repro.engine.executor import (
+    _cached_entry,
+    _materialize_for_cache,
     _partition_pruner,
     _split_join_condition,
     scan_predicate,
@@ -130,6 +134,10 @@ def execute_blocks(
         return _run_scalar_apply(plan, ctx, block_rows)
     if isinstance(plan, Spool):
         return _run_spool(plan, ctx, block_rows)
+    if isinstance(plan, CachedScan):
+        return _run_cached_scan(plan, ctx, block_rows)
+    if isinstance(plan, CachePopulate):
+        return _run_cache_populate(plan, ctx, block_rows)
     raise ExecutionError(f"no batch executor for operator {plan.name}")
 
 
@@ -618,3 +626,35 @@ def _run_spool(plan: Spool, ctx: RunContext, block_rows: int) -> Iterator[Block]
         ctx.metrics.spooled_rows += len(cache)
     ctx.metrics.spool_read_rows += len(cache)
     return _blocks_from_row_list(cache, len(plan.output_columns), block_rows)
+
+
+# -- cross-query plan cache ----------------------------------------------
+
+
+def _run_cached_scan(
+    plan: CachedScan, ctx: RunContext, block_rows: int
+) -> Iterator[Block]:
+    entry = _cached_entry(plan, ctx)
+    vectors = [entry.columns[token] for token in plan.column_tokens]
+    total = entry.row_count
+    for start in range(0, total, block_rows):
+        end = min(start + block_rows, total)
+        # Slices, not references: blocks are immutable by convention
+        # but downstream holds them past the entry's LRU lifetime.
+        yield [v[start:end] for v in vectors], end - start
+
+
+def _run_cache_populate(
+    plan: CachePopulate, ctx: RunContext, block_rows: int
+) -> Iterator[Block]:
+    cache = ctx.plan_cache
+    if cache is None or cache.has(plan.fingerprint):
+        yield from execute_blocks(plan.child, ctx, block_rows)
+        return
+    # Materialize as row tuples — the same representation the row
+    # engine caches — so both engines produce identical entries and
+    # metrics.
+    rows = _materialize_for_cache(
+        plan, ctx, lambda: list(_iter_rows(plan.child, ctx, block_rows))
+    )
+    yield from _blocks_from_row_list(rows, len(plan.column_tokens), block_rows)

@@ -33,6 +33,8 @@ from repro.algebra.expressions import (
     make_and,
 )
 from repro.algebra.operators import (
+    CachePopulate,
+    CachedScan,
     EnforceSingleRow,
     Filter,
     GroupBy,
@@ -57,7 +59,9 @@ from repro.engine.evaluator import (
     compile_expression_batch,
 )
 from repro.engine.metrics import RunContext
+from repro.engine.plan_cache import entry_from_rows
 from repro.errors import ExecutionError
+from repro.storage.accounting import ScanAccounting, TeeAccounting
 from repro.storage.columnar import ColumnChunk
 
 Row = tuple
@@ -98,6 +102,10 @@ def execute(plan: PlanNode, ctx: RunContext) -> Iterator[Row]:
         return _run_scalar_apply(plan, ctx)
     if isinstance(plan, Spool):
         return _run_spool(plan, ctx)
+    if isinstance(plan, CachedScan):
+        return _run_cached_scan(plan, ctx)
+    if isinstance(plan, CachePopulate):
+        return _run_cache_populate(plan, ctx)
     raise ExecutionError(f"no executor for operator {plan.name}")
 
 
@@ -111,6 +119,72 @@ def _run_spool(plan: "Spool", ctx: RunContext) -> Iterator[Row]:
         ctx.metrics.spooled_rows += len(cache)
     ctx.metrics.spool_read_rows += len(cache)
     return iter(cache)
+
+
+# -- cross-query plan cache ----------------------------------------------
+
+
+def _cached_entry(plan: CachedScan, ctx: RunContext):
+    """Fetch (and meter) the entry behind a CachedScan.
+
+    The optimizer only installs CachedScan after a pinned planning-time
+    hit, so a missing cache or entry here means the plan is being
+    executed outside the session that planned it.
+    """
+    cache = ctx.plan_cache
+    if cache is None:
+        raise ExecutionError("CachedScan requires the session's plan cache")
+    entry = cache.replay(plan.fingerprint)
+    if entry is None:
+        raise ExecutionError(
+            f"plan-cache entry {plan.fingerprint} disappeared before execution"
+        )
+    ctx.metrics.cache_hits += 1
+    ctx.metrics.cache_bytes_saved += entry.saved_bytes
+    ctx.metrics.cache_replayed_rows += entry.row_count
+    return entry
+
+
+def _run_cached_scan(plan: CachedScan, ctx: RunContext) -> Iterator[Row]:
+    entry = _cached_entry(plan, ctx)
+    vectors = [entry.columns[token] for token in plan.column_tokens]
+    if vectors:
+        yield from zip(*vectors)
+    else:
+        yield from ((),) * entry.row_count
+
+
+def _materialize_for_cache(plan: CachePopulate, ctx: RunContext, rows_of) -> list[Row]:
+    """Drain the populate child with scan accounting teed into a local
+    meter, admit the entry, and return the materialized rows.
+
+    ``rows_of`` abstracts over the engines (row tuples either way).
+    """
+    cache = ctx.plan_cache
+    meter = ScanAccounting()
+    ctx.push_accounting(TeeAccounting(ctx.accounting, meter))
+    try:
+        rows = rows_of()
+    finally:
+        ctx.pop_accounting()
+    # Like a spool, the materialized result stays resident — but only
+    # if it was actually admitted to the cache.
+    ctx.state_add(len(rows))
+    if cache.put(entry_from_rows(plan, rows, meter.bytes_scanned)):
+        ctx.metrics.cache_populations += 1
+    else:
+        ctx.state_remove(len(rows))
+    return rows
+
+
+def _run_cache_populate(plan: CachePopulate, ctx: RunContext) -> Iterator[Row]:
+    cache = ctx.plan_cache
+    if cache is None or cache.has(plan.fingerprint):
+        yield from execute(plan.child, ctx)
+        return
+    yield from _materialize_for_cache(
+        plan, ctx, lambda: list(execute(plan.child, ctx))
+    )
 
 
 # -- scans ---------------------------------------------------------------

@@ -35,6 +35,13 @@ class QueryMetrics:
     #: the paper's fusion rewrites avoid.
     spooled_rows: int = 0
     spool_read_rows: int = 0
+    #: Cross-query plan-cache activity (repro.engine.plan_cache):
+    #: subplans replayed from cache, subplans materialized into it, the
+    #: scan bytes those replays avoided, and the rows replayed.
+    cache_hits: int = 0
+    cache_populations: int = 0
+    cache_bytes_saved: float = 0.0
+    cache_replayed_rows: int = 0
     accounting: ScanAccounting = field(default_factory=ScanAccounting)
 
     @property
@@ -50,7 +57,7 @@ class QueryMetrics:
         return self.accounting.partitions_read
 
     def summary(self) -> str:
-        return (
+        text = (
             f"wall={self.wall_time_s*1000:.1f}ms "
             f"bytes={self.bytes_scanned/1024:.1f}KiB "
             f"rows_scanned={self.rows_scanned} "
@@ -58,6 +65,13 @@ class QueryMetrics:
             f"peak_state={self.peak_state_rows} "
             f"rows_out={self.rows_output}"
         )
+        if self.cache_hits or self.cache_populations:
+            text += (
+                f" cache_hits={self.cache_hits}"
+                f" cache_populations={self.cache_populations}"
+                f" cache_saved={self.cache_bytes_saved/1024:.1f}KiB"
+            )
+        return text
 
 
 class RunContext:
@@ -68,7 +82,7 @@ class RunContext:
     operator memory (in resident rows).
     """
 
-    def __init__(self, store):
+    def __init__(self, store, plan_cache=None):
         self.store = store
         self.metrics = QueryMetrics()
         self.env: dict[int, object] = {}
@@ -78,11 +92,26 @@ class RunContext:
         #: caching here lets ScalarApply re-execute a subquery without
         #: recompiling its scan predicates on every outer row.
         self.scan_predicate_cache: dict[tuple, object] = {}
+        #: The session's cross-query plan cache (None when disabled).
+        self.plan_cache = plan_cache
+        #: Accounting override stack: CachePopulate pushes a tee so the
+        #: subplan's scans are metered (for ``saved_bytes``) while still
+        #: charging the query; ``accounting`` is a property so scans
+        #: that start inside the populate window see the override.
+        self._accounting_overrides: list = []
         self._state_rows = 0
 
     @property
     def accounting(self) -> ScanAccounting:
+        if self._accounting_overrides:
+            return self._accounting_overrides[-1]
         return self.metrics.accounting
+
+    def push_accounting(self, accounting) -> None:
+        self._accounting_overrides.append(accounting)
+
+    def pop_accounting(self) -> None:
+        self._accounting_overrides.pop()
 
     def state_add(self, rows: int) -> None:
         self._state_rows += rows

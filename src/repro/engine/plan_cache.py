@@ -1,0 +1,226 @@
+"""Cross-query subplan result cache.
+
+The paper's premise is *computation reuse*; fusion and spools realize
+it within one query.  This module extends reuse across queries in a
+:class:`~repro.engine.session.Session`: a byte-budgeted LRU of
+materialized subplan results keyed by semantic plan fingerprint
+(:mod:`repro.algebra.fingerprint`).  Entries store full column vectors
+keyed by column *token*, so any alpha-equivalent consumer — different
+aliases, different column ids, reordered select list — can replay the
+exact bytes without touching storage, which is the whole game in a
+pay-per-byte-scanned cloud.
+
+Invalidation is by catalog table version: an entry remembers the
+``(table, version)`` pairs of its lineage at population time;
+``lookup`` drops entries whose versions no longer match (lazy), and
+:meth:`PlanCache.invalidate_table` evicts eagerly on reload.
+
+Entries hit during *planning* are pinned until the session releases
+them after execution, so populations triggered later in the same query
+can never evict a result the running plan still needs to replay.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.algebra.types import DataType, encoded_bytes
+
+MIB = 1024 * 1024
+
+#: Accounting bytes charged per NULL in a string vector (matches the
+#: dictionary-encoding floor, not the 12-byte average).
+_NULL_STRING_BYTES = 4.0
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters over the cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    replays: int = 0
+    populations: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    rejected: int = 0
+
+
+@dataclass
+class CacheEntry:
+    """One materialized subplan result.
+
+    ``columns`` maps column token -> full value vector (all vectors
+    share ``row_count``).  ``saved_bytes`` is what the producing
+    subplan charged to scan accounting while populating — the bytes a
+    replay avoids re-scanning, reported as ``cache_bytes_saved``.
+    """
+
+    fingerprint: str
+    columns: dict[str, list] = field(repr=False)
+    row_count: int
+    nbytes: float
+    tables: frozenset[str]
+    table_versions: tuple[tuple[str, int], ...]
+    saved_bytes: float
+
+
+def vector_bytes(vectors: list[list], dtypes: list[DataType]) -> float:
+    """Encoded size of a set of column vectors, using the storage
+    layer's per-type widths (strings by actual length)."""
+    total = 0.0
+    for vector, dtype in zip(vectors, dtypes):
+        if dtype is DataType.STRING:
+            for value in vector:
+                total += _NULL_STRING_BYTES if value is None else float(len(str(value)))
+        else:
+            total += encoded_bytes(dtype) * len(vector)
+    return total
+
+
+def entry_from_rows(populate, rows: list[tuple], saved_bytes: float) -> CacheEntry:
+    """Build a cache entry from a CachePopulate node's materialized
+    rows (shared by the row and batch executors so both produce
+    identical entries)."""
+    width = len(populate.column_tokens)
+    if width and rows:
+        vectors = [list(v) for v in zip(*rows)]
+    else:
+        vectors = [[] for _ in range(width)]
+    dtypes = [c.dtype for c in populate.child.output_columns]
+    columns = dict(zip(populate.column_tokens, vectors))
+    return CacheEntry(
+        fingerprint=populate.fingerprint,
+        columns=columns,
+        row_count=len(rows),
+        nbytes=vector_bytes(vectors, dtypes),
+        tables=frozenset(populate.tables),
+        table_versions=populate.table_versions,
+        saved_bytes=saved_bytes,
+    )
+
+
+class PlanCache:
+    """Byte-budgeted LRU of :class:`CacheEntry`, keyed by fingerprint."""
+
+    def __init__(self, budget_bytes: float = 64 * MIB):
+        if budget_bytes <= 0:
+            raise ValueError("cache budget must be positive")
+        self.budget_bytes = float(budget_bytes)
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._pinned: set[str] = set()
+        self.bytes_used = 0.0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def has(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def entries(self) -> list[CacheEntry]:
+        """Entries in LRU order (oldest first); for tests/inspection."""
+        return list(self._entries.values())
+
+    def lookup(self, fingerprint: str, catalog=None, pin: bool = False):
+        """Planning-time lookup: validates table versions against
+        ``catalog`` (dropping stale entries), refreshes LRU position,
+        and optionally pins the entry until :meth:`release_pins`.
+        """
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if catalog is not None:
+            for table, version in entry.table_versions:
+                if catalog.table_version(table) != version:
+                    self._drop(fingerprint)
+                    self.stats.invalidations += 1
+                    self.stats.misses += 1
+                    return None
+        self._entries.move_to_end(fingerprint)
+        self.stats.hits += 1
+        if pin:
+            self._pinned.add(fingerprint)
+        return entry
+
+    def replay(self, fingerprint: str):
+        """Execution-time fetch (no version check — versions were
+        validated, and the entry pinned, when the plan was built)."""
+        entry = self._entries.get(fingerprint)
+        if entry is not None:
+            self._entries.move_to_end(fingerprint)
+            self.stats.replays += 1
+        return entry
+
+    def put(self, entry: CacheEntry) -> bool:
+        """Admit ``entry``, evicting unpinned LRU entries to fit the
+        byte budget.  Returns False (without evicting anything) when
+        the entry already exists, exceeds the whole budget, or could
+        only fit by evicting pinned entries."""
+        if entry.fingerprint in self._entries:
+            return False
+        if entry.nbytes > self.budget_bytes:
+            self.stats.rejected += 1
+            return False
+        needed = self.bytes_used + entry.nbytes - self.budget_bytes
+        if needed > 0:
+            victims = []
+            reclaimed = 0.0
+            for fingerprint, candidate in self._entries.items():
+                if fingerprint in self._pinned:
+                    continue
+                victims.append(fingerprint)
+                reclaimed += candidate.nbytes
+                if reclaimed >= needed:
+                    break
+            if reclaimed < needed:
+                self.stats.rejected += 1
+                return False
+            for fingerprint in victims:
+                self._drop(fingerprint)
+                self.stats.evictions += 1
+        self._entries[entry.fingerprint] = entry
+        self.bytes_used += entry.nbytes
+        self.stats.populations += 1
+        return True
+
+    def invalidate_table(self, table: str) -> int:
+        """Eagerly evict every entry whose lineage includes ``table``;
+        returns how many were dropped."""
+        key = table.lower()
+        victims = [
+            fingerprint
+            for fingerprint, entry in self._entries.items()
+            if key in entry.tables
+        ]
+        for fingerprint in victims:
+            self._drop(fingerprint)
+            self.stats.invalidations += 1
+        return len(victims)
+
+    def release_pins(self) -> None:
+        self._pinned.clear()
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._pinned.clear()
+        self.bytes_used = 0.0
+
+    def _drop(self, fingerprint: str) -> None:
+        entry = self._entries.pop(fingerprint)
+        self.bytes_used -= entry.nbytes
+        self._pinned.discard(fingerprint)
+
+    def summary(self) -> str:
+        return (
+            f"entries={len(self._entries)} "
+            f"bytes={self.bytes_used/1024:.1f}KiB "
+            f"hits={self.stats.hits} misses={self.stats.misses} "
+            f"replays={self.stats.replays} evictions={self.stats.evictions} "
+            f"invalidations={self.stats.invalidations}"
+        )

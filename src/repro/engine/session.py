@@ -16,6 +16,7 @@ from repro.catalog.catalog import Catalog
 from repro.engine.batch_executor import execute_batch
 from repro.engine.executor import execute
 from repro.engine.metrics import QueryMetrics, RunContext, Stopwatch
+from repro.engine.plan_cache import MIB, PlanCache
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.pipeline import optimize
 from repro.sql.binder import Binder
@@ -50,27 +51,51 @@ class Session:
         self.catalog = Catalog()
         store.load_catalog(self.catalog)
         self._binder = Binder(self.catalog)
+        #: Cross-query subplan result cache (§ cross-query reuse);
+        #: lives as long as the session, like Athena's per-workgroup
+        #: result reuse window.
+        self.plan_cache: PlanCache | None = (
+            PlanCache(self.config.cache_budget_mb * MIB)
+            if self.config.enable_plan_cache
+            else None
+        )
 
     def plan(self, sql: str) -> tuple[PlanNode, tuple[str, ...]]:
         """Parse + bind + optimize; returns (plan, output names)."""
         bound = self._binder.bind_sql(sql)
-        optimized, _ = optimize(bound.plan, self.catalog, self.config)
+        try:
+            optimized, _ = optimize(
+                bound.plan, self.catalog, self.config, plan_cache=self.plan_cache
+            )
+        finally:
+            # plan() has no execution phase, so hits pinned during the
+            # cache-aware pass must not outlive the call.
+            if self.plan_cache is not None:
+                self.plan_cache.release_pins()
         return optimized, bound.column_names
 
     def execute(self, sql: str) -> QueryResult:
         """Run a SQL query end to end with the configured engine."""
         bound = self._binder.bind_sql(sql)
-        optimized, opt_ctx = optimize(bound.plan, self.catalog, self.config)
-        run_ctx = RunContext(self.store)
-        with Stopwatch(run_ctx.metrics):
-            if self.config.engine == "batch":
-                rows = list(
-                    execute_batch(
-                        optimized, run_ctx, block_rows=self.config.batch_rows
+        try:
+            optimized, opt_ctx = optimize(
+                bound.plan, self.catalog, self.config, plan_cache=self.plan_cache
+            )
+            run_ctx = RunContext(self.store, plan_cache=self.plan_cache)
+            with Stopwatch(run_ctx.metrics):
+                if self.config.engine == "batch":
+                    rows = list(
+                        execute_batch(
+                            optimized, run_ctx, block_rows=self.config.batch_rows
+                        )
                     )
-                )
-            else:
-                rows = list(execute(optimized, run_ctx))
+                else:
+                    rows = list(execute(optimized, run_ctx))
+        finally:
+            # Entries pinned at planning time stay safe from eviction
+            # for exactly the execution of this query.
+            if self.plan_cache is not None:
+                self.plan_cache.release_pins()
         run_ctx.metrics.rows_output = len(rows)
         return QueryResult(
             bound.column_names,
@@ -80,6 +105,17 @@ class Session:
             optimized,
             list(opt_ctx.fired),
         )
+
+    def reload_table(self, name: str) -> None:
+        """Pick up replaced data for ``name`` (after ``store.put``).
+
+        Re-registers the table (bumping its catalog version) and
+        eagerly evicts every cached cross-query result whose lineage
+        includes it.
+        """
+        self.store.register_table(name, self.catalog)
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_table(name)
 
     def explain(self, sql: str) -> str:
         plan, _ = self.plan(sql)

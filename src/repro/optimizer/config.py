@@ -50,6 +50,18 @@ class OptimizerConfig:
     engine: str = "batch"
     #: Rows per block for the batch engine.
     batch_rows: int = 1024
+    #: Cross-query computation reuse: fingerprint subplans and replace
+    #: any whose result is already in the session's plan cache with a
+    #: CachedScan, populating promising subplans on first execution
+    #: (repro.engine.plan_cache).  Off by default — reuse across
+    #: queries only pays off for sessions that repeat work, which is
+    #: what the cache benchmarks measure.
+    enable_plan_cache: bool = False
+    #: Byte budget of the plan cache (LRU evicts beyond it).
+    cache_budget_mb: float = 64.0
+    #: Maximum subplans scheduled for cache population per query —
+    #: bounds the materialization overhead of a cold first run.
+    cache_max_populate: int = 4
     #: When True, distinct aggregates are lowered to MarkDistinct
     #: *before* the fusion rules run, exercising §III.F's MarkDistinct
     #: fusion on e.g. TPC-DS Q28.  The default lowers after fusion,
@@ -65,6 +77,10 @@ class OptimizerConfig:
             )
         if self.batch_rows <= 0:
             raise ValueError("batch_rows must be positive")
+        if self.cache_budget_mb <= 0:
+            raise ValueError("cache_budget_mb must be positive")
+        if self.cache_max_populate < 0:
+            raise ValueError("cache_max_populate must be non-negative")
 
     def fusion_rules_enabled(self) -> bool:
         return self.enable_fusion and (

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.algebra.operators import GroupBy, Join, PlanNode, Scan, Window
 from repro.algebra.schema import ColumnAllocator
@@ -10,6 +11,9 @@ from repro.algebra.visitors import walk_plan
 from repro.catalog.catalog import Catalog
 from repro.fusion.fuse import Fuser
 from repro.optimizer.config import OptimizerConfig
+
+if TYPE_CHECKING:  # engine imports the optimizer; keep runtime acyclic.
+    from repro.engine.plan_cache import PlanCache
 
 
 @dataclass
@@ -24,6 +28,10 @@ class OptimizerContext:
     catalog: Catalog
     config: OptimizerConfig
     fired: list[str] = field(default_factory=list)
+    #: The session's cross-query result cache, when planning inside a
+    #: cache-enabled session (None otherwise — e.g. bare ``optimize``
+    #: calls in tests).  Consulted by the CrossQueryReuse pass.
+    plan_cache: "PlanCache | None" = None
 
     def __post_init__(self) -> None:
         from repro.optimizer.stats import CardinalityEstimator

@@ -30,6 +30,7 @@ from repro.optimizer.fusion_rules import (
     UnionAllOnJoin,
 )
 from repro.optimizer.rewrites import (
+    CrossQueryReuse,
     DecorrelateScalarAggregates,
     DistinctPushdown,
     FactorAggregateMasks,
@@ -93,6 +94,11 @@ def build_pipeline(config: OptimizerConfig) -> list[PlanPass]:
     if config.enable_spooling:
         # The roadmap fallback: materialize duplicates fusion left behind.
         passes.append(SpoolDuplicateSubtrees())
+    if config.enable_plan_cache:
+        # Cross-query reuse runs over the final plan shape (after
+        # spooling, so spooled common subexpressions are populate
+        # candidates too).
+        passes.append(CrossQueryReuse())
     return passes
 
 
@@ -100,13 +106,17 @@ def optimize(
     plan: PlanNode,
     catalog: Catalog,
     config: OptimizerConfig | None = None,
+    plan_cache=None,
 ) -> tuple[PlanNode, OptimizerContext]:
     """Optimize ``plan`` under ``config`` (default: fusion enabled).
+
+    ``plan_cache`` is the session's cross-query result cache; it is
+    only consulted when ``config.enable_plan_cache`` is set.
 
     Returns the optimized plan and the context (whose ``fired`` list
     records which rules changed the plan).
     """
     config = config if config is not None else OptimizerConfig()
-    ctx = OptimizerContext(catalog, config)
+    ctx = OptimizerContext(catalog, config, plan_cache=plan_cache)
     optimized = run_pipeline(plan, build_pipeline(config), ctx)
     return optimized, ctx

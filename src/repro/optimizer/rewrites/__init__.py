@@ -5,6 +5,7 @@ from repro.optimizer.rewrites.join_order import GreedyJoinOrder
 from repro.optimizer.rewrites.masks import FactorAggregateMasks
 from repro.optimizer.rewrites.pruning import ProjectionPruning
 from repro.optimizer.rewrites.pushdown import PredicatePushdown
+from repro.optimizer.rewrites.reuse import CrossQueryReuse
 from repro.optimizer.rewrites.semijoin import DistinctPushdown, SemiJoinToDistinctJoin
 from repro.optimizer.rewrites.spool import SpoolDuplicateSubtrees
 from repro.optimizer.rewrites.simplify import (
@@ -33,4 +34,5 @@ __all__ = [
     "FactorAggregateMasks",
     "SpoolDuplicateSubtrees",
     "GreedyJoinOrder",
+    "CrossQueryReuse",
 ]

@@ -50,3 +50,31 @@ class ScanAccounting:
         copy.bytes_by_table = dict(self.bytes_by_table)
         copy.scans_by_table = dict(self.scans_by_table)
         return copy
+
+
+class TeeAccounting:
+    """Forwards every record to two accountings.
+
+    The plan cache's population hook uses this to meter what a subplan
+    scans (the bytes a later replay will save) while still charging the
+    query's main accounting — population must never make a query look
+    cheaper than it was.  Nesting tees (a populated subplan inside a
+    populated subplan) chains naturally: the inner primary is the outer
+    tee.
+    """
+
+    def __init__(self, primary, secondary) -> None:
+        self.primary = primary
+        self.secondary = secondary
+
+    def record_chunk(self, table: str, nbytes: float) -> None:
+        self.primary.record_chunk(table, nbytes)
+        self.secondary.record_chunk(table, nbytes)
+
+    def record_partition(self, rows: int = 0) -> None:
+        self.primary.record_partition(rows)
+        self.secondary.record_partition(rows)
+
+    def record_scan(self, table: str) -> None:
+        self.primary.record_scan(table)
+        self.secondary.record_scan(table)

@@ -150,52 +150,64 @@ class Store:
     def load_catalog(self, catalog: Catalog) -> None:
         """Register every stored table's definition (with live row
         counts and per-column statistics) into ``catalog``."""
+        for stored in self._tables.values():
+            self.register_table(stored.name, catalog)
+
+    def register_table(self, name: str, catalog: Catalog) -> None:
+        """(Re-)register one stored table into ``catalog``.
+
+        Also the reload path: after replacing a table's data via
+        :meth:`put`, re-registering bumps the catalog's table version
+        (see :meth:`~repro.catalog.catalog.Catalog.register`), which
+        invalidates any cross-query cache entries built over the old
+        data.
+        """
         from repro.catalog.catalog import ColumnStats
 
-        for stored in self._tables.values():
-            definition = stored.definition
-            catalog.register(
-                TableDef(
-                    definition.name,
-                    definition.columns,
-                    definition.primary_key,
-                    definition.partition_column,
-                    stored.row_count,
-                )
+        stored = self.get(name)
+        definition = stored.definition
+        catalog.register(
+            TableDef(
+                definition.name,
+                definition.columns,
+                definition.primary_key,
+                definition.partition_column,
+                stored.row_count,
             )
-            total = stored.row_count
-            for cdef in definition.columns:
-                distinct: set = set()
-                nulls = 0
-                min_value = max_value = None
-                for part in stored.partitions:
-                    chunk = part.chunk(cdef.name)
-                    for value in chunk.values:
-                        if value is None:
-                            nulls += 1
-                        else:
-                            distinct.add(value)
-                    if chunk.min_value is not None:
-                        min_value = (
-                            chunk.min_value
-                            if min_value is None
-                            else min(min_value, chunk.min_value)
-                        )
-                        max_value = (
-                            chunk.max_value
-                            if max_value is None
-                            else max(max_value, chunk.max_value)
-                        )
-                catalog.set_column_stats(
-                    definition.name,
-                    cdef.name,
-                    ColumnStats(
-                        ndv=len(distinct),
-                        null_fraction=nulls / total if total else 0.0,
-                        min_value=min_value,
-                        max_value=max_value,
-                    ),
-                )
+        )
+        total = stored.row_count
+        for cdef in definition.columns:
+            distinct: set = set()
+            nulls = 0
+            min_value = max_value = None
+            for part in stored.partitions:
+                chunk = part.chunk(cdef.name)
+                for value in chunk.values:
+                    if value is None:
+                        nulls += 1
+                    else:
+                        distinct.add(value)
+                if chunk.min_value is not None:
+                    min_value = (
+                        chunk.min_value
+                        if min_value is None
+                        else min(min_value, chunk.min_value)
+                    )
+                    max_value = (
+                        chunk.max_value
+                        if max_value is None
+                        else max(max_value, chunk.max_value)
+                    )
+            catalog.set_column_stats(
+                definition.name,
+                cdef.name,
+                ColumnStats(
+                    ndv=len(distinct),
+                    null_fraction=nulls / total if total else 0.0,
+                    min_value=min_value,
+                    max_value=max_value,
+                ),
+            )
 
     def scan_blocks(
         self,

@@ -1,0 +1,166 @@
+"""Semantic plan fingerprints (repro.algebra.fingerprint).
+
+Property tests of the equivalence the cross-query cache depends on:
+alpha-equivalent plans — same computation under renaming — must hash
+identically, while semantically different plans must not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.fingerprint import _CACHE_ATTR, plan_fingerprint
+from repro.algebra.operators import Join, JoinKind, Scan
+from repro.catalog.catalog import Catalog
+from repro.algebra.expressions import ColumnRef, Comparison
+from repro.sql.binder import Binder
+
+
+@pytest.fixture()
+def binder(people_store):
+    catalog = Catalog()
+    people_store.load_catalog(catalog)
+    return Binder(catalog)
+
+
+def _digest(binder, sql: str) -> str:
+    return plan_fingerprint(binder.bind_sql(sql).plan).digest
+
+
+# -- alpha-equivalence: these MUST collide ---------------------------------
+
+
+def test_same_sql_bound_twice_collides(binder):
+    # Each bind allocates fresh column ids; the digest must not see them.
+    sql = "SELECT lname, count(*) AS n FROM people GROUP BY lname"
+    assert _digest(binder, sql) == _digest(binder, sql)
+
+
+def test_alias_and_output_renames_collide(binder):
+    a = "SELECT p.lname AS surname, p.age AS years FROM people p WHERE p.age > 30"
+    b = "SELECT q.lname AS family, q.age AS a FROM people q WHERE q.age > 30"
+    assert _digest(binder, a) == _digest(binder, b)
+
+
+def test_conjunct_order_collides(binder):
+    a = "SELECT id FROM people WHERE age > 30 AND city_id = 10"
+    b = "SELECT id FROM people WHERE city_id = 10 AND age > 30"
+    assert _digest(binder, a) == _digest(binder, b)
+
+
+def test_comparison_orientation_collides(binder):
+    assert _digest(binder, "SELECT id FROM people WHERE age > 30") == _digest(
+        binder, "SELECT id FROM people WHERE 30 < age"
+    )
+
+
+def test_numeric_literal_form_collides_in_comparison(binder):
+    assert _digest(binder, "SELECT id FROM people WHERE age > 30") == _digest(
+        binder, "SELECT id FROM people WHERE age > 30.0"
+    )
+
+
+def test_projected_literal_keeps_its_type(binder):
+    # SELECT 1 and SELECT 1.0 produce different bytes — must NOT collide.
+    a = "SELECT 1 AS x, id FROM people"
+    b = "SELECT 1.0 AS x, id FROM people"
+    assert _digest(binder, a) != _digest(binder, b)
+
+
+def test_select_list_order_and_duplicates_collide(binder):
+    a = "SELECT fname, lname FROM people"
+    b = "SELECT lname, fname FROM people"
+    fa = plan_fingerprint(binder.bind_sql(a).plan)
+    fb = plan_fingerprint(binder.bind_sql(b).plan)
+    assert fa.digest == fb.digest
+    # ...but the per-column tokens still distinguish the positions, so
+    # a consumer replays its own projection order.
+    pa = binder.bind_sql(a).plan
+    ta = plan_fingerprint(pa).output_tokens(pa)
+    pb = binder.bind_sql(b).plan
+    tb = plan_fingerprint(pb).output_tokens(pb)
+    assert set(ta) == set(tb) and ta != tb
+
+
+def test_group_by_key_order_collides(binder):
+    a = "SELECT count(*) AS n FROM people GROUP BY city_id, lname"
+    b = "SELECT count(*) AS n FROM people GROUP BY lname, city_id"
+    assert _digest(binder, a) == _digest(binder, b)
+
+
+# -- semantic differences: these must NOT collide --------------------------
+
+
+def test_changed_literal_differs(binder):
+    assert _digest(binder, "SELECT id FROM people WHERE age > 30") != _digest(
+        binder, "SELECT id FROM people WHERE age > 31"
+    )
+
+
+def test_extra_conjunct_differs(binder):
+    a = "SELECT id FROM people WHERE age > 30"
+    b = "SELECT id FROM people WHERE age > 30 AND city_id = 10"
+    assert _digest(binder, a) != _digest(binder, b)
+
+
+def test_join_kind_differs(binder):
+    a = "SELECT p.id FROM people p JOIN cities c ON p.city_id = c.city_id"
+    b = "SELECT p.id FROM people p LEFT JOIN cities c ON p.city_id = c.city_id"
+    assert _digest(binder, a) != _digest(binder, b)
+
+
+def test_different_table_differs(binder):
+    assert _digest(binder, "SELECT count(*) AS n FROM people") != _digest(
+        binder, "SELECT count(*) AS n FROM cities"
+    )
+
+
+# -- commutative join input order ------------------------------------------
+
+
+def _scan(catalog: Catalog, table: str) -> Scan:
+    columns, sources = catalog.fresh_scan_columns(table)
+    return Scan(table, columns, sources)
+
+
+def _join_pair(people_store, kind: JoinKind):
+    catalog = Catalog()
+    people_store.load_catalog(catalog)
+    people = _scan(catalog, "people")
+    cities = _scan(catalog, "cities")
+    cond = Comparison(
+        "=", ColumnRef(people.columns[4]), ColumnRef(cities.columns[0])
+    )
+    fwd = Join(kind, people, cities, cond)
+    # The swapped join keeps the same condition — equality is symmetric.
+    swapped = Join(kind, cities, people, cond)
+    return fwd, swapped
+
+
+def test_inner_join_input_order_collides(people_store):
+    fwd, swapped = _join_pair(people_store, JoinKind.INNER)
+    assert plan_fingerprint(fwd).digest == plan_fingerprint(swapped).digest
+
+
+def test_left_join_input_order_differs(people_store):
+    fwd, swapped = _join_pair(people_store, JoinKind.LEFT)
+    assert plan_fingerprint(fwd).digest != plan_fingerprint(swapped).digest
+
+
+# -- lineage + memoization --------------------------------------------------
+
+
+def test_tables_lineage(binder):
+    plan = binder.bind_sql(
+        "SELECT p.id FROM people p JOIN cities c ON p.city_id = c.city_id"
+    ).plan
+    assert plan_fingerprint(plan).tables == frozenset({"people", "cities"})
+
+
+def test_fingerprint_memoized_on_node(binder):
+    plan = binder.bind_sql("SELECT id FROM people WHERE age > 30").plan
+    first = plan_fingerprint(plan)
+    assert plan_fingerprint(plan) is first  # cached on the node
+    rebuilt = plan.with_children(plan.children)
+    assert _CACHE_ATTR not in rebuilt.__dict__  # rebuild = fresh node, no memo
+    assert plan_fingerprint(rebuilt).digest == first.digest
