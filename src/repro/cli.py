@@ -74,6 +74,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the query N times in the same session "
         "(shows cache replay metrics with --cache)",
     )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="chaos: fraction of chunk-read sites that fail transiently "
+        "(deterministic per --fault-seed; default 0 = no faults)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=7,
+        help="seed for the fault injector and retry jitter (default 7)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="max retries of a transiently failing chunk read "
+        "(0 surfaces the first fault; default 3)",
+    )
+    parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="per-query deadline in milliseconds (default: none)",
+    )
+    parser.add_argument(
+        "--max-spool-rows",
+        type=int,
+        default=None,
+        help="row budget for any materialized intermediate (default: none)",
+    )
+    parser.add_argument(
+        "--max-state-rows",
+        type=int,
+        default=None,
+        help="budget for resident operator state in rows (default: none)",
+    )
     return parser
 
 
@@ -100,6 +138,12 @@ def main(argv: list[str] | None = None) -> int:
         "batch_rows": args.batch_rows,
         "enable_plan_cache": args.cache,
         "cache_budget_mb": args.cache_budget_mb,
+        "fault_rate": args.fault_rate,
+        "fault_seed": args.fault_seed,
+        "max_retries": args.retries,
+        "timeout_ms": args.timeout_ms,
+        "max_spool_rows": args.max_spool_rows,
+        "max_state_rows": args.max_state_rows,
     }
     try:
         if args.compare:

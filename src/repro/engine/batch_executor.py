@@ -71,6 +71,7 @@ from repro.engine.evaluator import (
 )
 from repro.engine.executor import (
     _cached_entry,
+    _check_spool_budget,
     _materialize_for_cache,
     _partition_pruner,
     _split_join_condition,
@@ -145,8 +146,14 @@ def execute_blocks(
 
 
 def _iter_rows(plan: PlanNode, ctx: RunContext, block_rows: int) -> Iterator[Row]:
-    """Flatten a block stream into row tuples (one zip per block)."""
+    """Flatten a block stream into row tuples (one zip per block).
+
+    Also a cooperative cancellation/deadline point: every materializing
+    operator funnels through here, so checking once per block bounds
+    how far past a deadline any pipeline can run.
+    """
     for cols, n in execute_blocks(plan, ctx, block_rows):
+        ctx.checkpoint()
         if cols:
             yield from zip(*cols)
         else:
@@ -195,6 +202,7 @@ def _run_scan(plan: Scan, ctx: RunContext, block_rows: int) -> Iterator[Block]:
         ctx.accounting,
         partition_predicate=_partition_pruner(plan),
         block_rows=block_rows,
+        runtime=ctx,
     )
     if plan.predicate is None:
         yield from blocks
@@ -621,6 +629,7 @@ def _run_spool(plan: Spool, ctx: RunContext, block_rows: int) -> Iterator[Block]
     cache = ctx.spool_cache.get(plan.spool_id)
     if cache is None:
         cache = list(_iter_rows(plan.child, ctx, block_rows))
+        _check_spool_budget(ctx, len(cache), f"spool {plan.spool_id}")
         ctx.spool_cache[plan.spool_id] = cache
         ctx.state_add(len(cache))
         ctx.metrics.spooled_rows += len(cache)

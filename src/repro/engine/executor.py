@@ -59,8 +59,12 @@ from repro.engine.evaluator import (
     compile_expression_batch,
 )
 from repro.engine.metrics import RunContext
-from repro.engine.plan_cache import entry_from_rows
-from repro.errors import ExecutionError
+from repro.engine.plan_cache import entry_checksum, entry_from_rows
+from repro.errors import (
+    DataCorruptionError,
+    ExecutionError,
+    ResourceExhaustedError,
+)
 from repro.storage.accounting import ScanAccounting, TeeAccounting
 from repro.storage.columnar import ColumnChunk
 
@@ -109,10 +113,23 @@ def execute(plan: PlanNode, ctx: RunContext) -> Iterator[Row]:
     raise ExecutionError(f"no executor for operator {plan.name}")
 
 
+def _check_spool_budget(ctx: RunContext, rows: int, what: str) -> None:
+    """Enforce ``max_spool_rows`` on a materialized intermediate."""
+    limit = ctx.limits.max_spool_rows
+    if limit is not None and rows > limit:
+        raise ResourceExhaustedError(
+            f"{what} materialized {rows} rows, exceeding max_spool_rows="
+            f"{limit}; raise the budget or make the subexpression more "
+            "selective"
+        )
+
+
 def _run_spool(plan: "Spool", ctx: RunContext) -> Iterator[Row]:
     cache = ctx.spool_cache.get(plan.spool_id)
     if cache is None:
+        ctx.checkpoint()
         cache = list(execute(plan.child, ctx))
+        _check_spool_budget(ctx, len(cache), f"spool {plan.spool_id}")
         ctx.spool_cache[plan.spool_id] = cache
         # Materialized state stays resident for the rest of the query.
         ctx.state_add(len(cache))
@@ -139,6 +156,17 @@ def _cached_entry(plan: CachedScan, ctx: RunContext):
         raise ExecutionError(
             f"plan-cache entry {plan.fingerprint} disappeared before execution"
         )
+    if entry.checksum is not None:
+        # A corrupt replayed vector would poison every consumer of this
+        # entry; verify before handing bytes out, evicting on mismatch.
+        ctx.metrics.checksum_verifications += 1
+        if entry_checksum(entry.columns) != entry.checksum:
+            cache.evict(plan.fingerprint)
+            raise DataCorruptionError(
+                f"plan-cache entry {plan.fingerprint} failed checksum "
+                "verification and was evicted; re-running the query will "
+                "recompute it from storage"
+            )
     ctx.metrics.cache_hits += 1
     ctx.metrics.cache_bytes_saved += entry.saved_bytes
     ctx.metrics.cache_replayed_rows += entry.row_count
@@ -167,6 +195,7 @@ def _materialize_for_cache(plan: CachePopulate, ctx: RunContext, rows_of) -> lis
         rows = rows_of()
     finally:
         ctx.pop_accounting()
+    _check_spool_budget(ctx, len(rows), "plan-cache population")
     # Like a spool, the materialized result stays resident — but only
     # if it was actually admitted to the cache.
     ctx.state_add(len(rows))
@@ -302,6 +331,7 @@ def _run_scan(plan: Scan, ctx: RunContext) -> Iterator[Row]:
         plan.source_names,
         ctx.accounting,
         partition_predicate=_partition_pruner(plan),
+        runtime=ctx,
     )
     if plan.predicate is None:
         yield from rows

@@ -15,7 +15,41 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+)
 from repro.storage.accounting import ScanAccounting
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Per-query execution budgets (None = unlimited).
+
+    ``timeout_ms`` is the per-query deadline, enforced cooperatively at
+    block boundaries.  ``max_spool_rows`` bounds any single
+    materialized intermediate (spools and plan-cache populations);
+    ``max_state_rows`` bounds total resident operator state (join build
+    sides, aggregation hash tables, sorts, windows) — the stand-in for
+    a per-query memory budget.
+    """
+
+    timeout_ms: float | None = None
+    max_spool_rows: int | None = None
+    max_state_rows: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms is not None and self.timeout_ms < 0:
+            raise ValueError("timeout_ms must be non-negative")
+        if self.max_spool_rows is not None and self.max_spool_rows <= 0:
+            raise ValueError("max_spool_rows must be positive")
+        if self.max_state_rows is not None and self.max_state_rows <= 0:
+            raise ValueError("max_state_rows must be positive")
+
+
+#: The default: no deadline, no budgets.
+NO_LIMITS = ResourceLimits()
 
 
 @dataclass
@@ -42,6 +76,14 @@ class QueryMetrics:
     cache_populations: int = 0
     cache_bytes_saved: float = 0.0
     cache_replayed_rows: int = 0
+    #: Fault-tolerance counters: transient read retries performed,
+    #: faults the chaos injector delivered to this query, chunk/entry
+    #: checksum verifications, and (when a deadline was configured) how
+    #: much of it was left at the end of the query.
+    retries: int = 0
+    faults_injected: int = 0
+    checksum_verifications: int = 0
+    deadline_remaining_ms: float | None = None
     accounting: ScanAccounting = field(default_factory=ScanAccounting)
 
     @property
@@ -71,6 +113,10 @@ class QueryMetrics:
                 f" cache_populations={self.cache_populations}"
                 f" cache_saved={self.cache_bytes_saved/1024:.1f}KiB"
             )
+        if self.retries or self.faults_injected:
+            text += f" retries={self.retries} faults={self.faults_injected}"
+        if self.deadline_remaining_ms is not None:
+            text += f" deadline_left={self.deadline_remaining_ms:.0f}ms"
         return text
 
 
@@ -82,7 +128,14 @@ class RunContext:
     operator memory (in resident rows).
     """
 
-    def __init__(self, store, plan_cache=None):
+    def __init__(
+        self,
+        store,
+        plan_cache=None,
+        retry_policy=None,
+        limits: ResourceLimits | None = None,
+        clock=time.monotonic,
+    ):
         self.store = store
         self.metrics = QueryMetrics()
         self.env: dict[int, object] = {}
@@ -100,6 +153,43 @@ class RunContext:
         #: that start inside the populate window see the override.
         self._accounting_overrides: list = []
         self._state_rows = 0
+        #: Fault tolerance: retry policy for transient storage faults
+        #: (None = no retrying) and per-query limits.  The deadline is
+        #: fixed at context creation, i.e. when the query starts.
+        self.retry_policy = retry_policy
+        self.limits = limits if limits is not None else NO_LIMITS
+        self.clock = clock
+        self._deadline: float | None = None
+        if self.limits.timeout_ms is not None:
+            self._deadline = clock() + self.limits.timeout_ms / 1000.0
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request cooperative cancellation; the query aborts with
+        :class:`~repro.errors.QueryCancelledError` at the next block
+        boundary."""
+        self._cancelled = True
+
+    def checkpoint(self) -> None:
+        """Cooperative cancellation/deadline check, called at block
+        boundaries (partition reads, block flattening, spool
+        materialization).  Near-free when neither is configured."""
+        if self._cancelled:
+            raise QueryCancelledError(
+                "query cancelled; partial results were discarded"
+            )
+        if self._deadline is not None and self.clock() > self._deadline:
+            raise QueryTimeoutError(
+                f"query exceeded its {self.limits.timeout_ms:.0f}ms deadline; "
+                "raise timeout_ms (--timeout-ms) or reduce the data scanned"
+            )
+
+    @property
+    def deadline_remaining_ms(self) -> float | None:
+        """Milliseconds left before the deadline (None = no deadline)."""
+        if self._deadline is None:
+            return None
+        return max(0.0, (self._deadline - self.clock()) * 1000.0)
 
     @property
     def accounting(self) -> ScanAccounting:
@@ -118,6 +208,14 @@ class RunContext:
         self.metrics.total_state_rows += rows
         if self._state_rows > self.metrics.peak_state_rows:
             self.metrics.peak_state_rows = self._state_rows
+        limit = self.limits.max_state_rows
+        if limit is not None and self._state_rows > limit:
+            raise ResourceExhaustedError(
+                f"resident operator state of {self._state_rows} rows exceeds "
+                f"max_state_rows={limit} (join build sides, aggregation hash "
+                "tables, sorts and spools count); raise the budget or reduce "
+                "the working set"
+            )
 
     def state_remove(self, rows: int) -> None:
         self._state_rows -= rows

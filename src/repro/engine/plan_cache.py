@@ -64,6 +64,16 @@ class CacheEntry:
     tables: frozenset[str]
     table_versions: tuple[tuple[str, int], ...]
     saved_bytes: float
+    #: Content digest of ``columns`` at population time, re-verified on
+    #: replay — a corrupt replayed vector would otherwise silently
+    #: poison every query that hits this entry.  None disables.
+    checksum: int | None = None
+
+
+def entry_checksum(columns: dict[str, list]) -> int:
+    """Content digest of a cache entry's column vectors (token-keyed,
+    order-independent)."""
+    return hash(tuple(sorted((token, tuple(vector)) for token, vector in columns.items())))
 
 
 def vector_bytes(vectors: list[list], dtypes: list[DataType]) -> float:
@@ -98,6 +108,7 @@ def entry_from_rows(populate, rows: list[tuple], saved_bytes: float) -> CacheEnt
         tables=frozenset(populate.tables),
         table_versions=populate.table_versions,
         saved_bytes=saved_bytes,
+        checksum=entry_checksum(columns),
     )
 
 
@@ -187,6 +198,15 @@ class PlanCache:
         self._entries[entry.fingerprint] = entry
         self.bytes_used += entry.nbytes
         self.stats.populations += 1
+        return True
+
+    def evict(self, fingerprint: str) -> bool:
+        """Drop one entry (e.g. after a failed replay checksum);
+        counts as an invalidation.  Returns False if absent."""
+        if fingerprint not in self._entries:
+            return False
+        self._drop(fingerprint)
+        self.stats.invalidations += 1
         return True
 
     def invalidate_table(self, table: str) -> int:

@@ -15,12 +15,18 @@ from repro.algebra.printer import explain
 from repro.catalog.catalog import Catalog
 from repro.engine.batch_executor import execute_batch
 from repro.engine.executor import execute
-from repro.engine.metrics import QueryMetrics, RunContext, Stopwatch
+from repro.engine.metrics import (
+    QueryMetrics,
+    ResourceLimits,
+    RunContext,
+    Stopwatch,
+)
 from repro.engine.plan_cache import MIB, PlanCache
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.pipeline import optimize
 from repro.sql.binder import Binder
 from repro.storage.columnar import Store
+from repro.storage.faults import FaultInjector, RetryPolicy
 
 
 @dataclass
@@ -48,6 +54,31 @@ class Session:
     def __init__(self, store: Store, config: OptimizerConfig | None = None):
         self.store = store
         self.config = config if config is not None else OptimizerConfig()
+        # Fault-tolerance wiring: chaos configuration installs a
+        # deterministic injector on the (shared) store; the retry
+        # policy and per-query limits are session-local.  Attributes on
+        # the store are only touched when the config asks for it, so a
+        # vanilla session never perturbs a store it shares.
+        if self.config.fault_rate > 0 and store.fault_injector is None:
+            store.fault_injector = FaultInjector(
+                fault_rate=self.config.fault_rate, seed=self.config.fault_seed
+            )
+        if self.config.strict_blocks is not None:
+            store.strict_blocks = self.config.strict_blocks
+        if not self.config.verify_checksums:
+            store.verify_checksums = False
+        self._retry_policy = RetryPolicy(
+            max_retries=self.config.max_retries,
+            base_delay_ms=self.config.retry_base_delay_ms,
+            seed=self.config.fault_seed,
+        )
+        self._limits = ResourceLimits(
+            timeout_ms=self.config.timeout_ms,
+            max_spool_rows=self.config.max_spool_rows,
+            max_state_rows=self.config.max_state_rows,
+        )
+        self._active_ctx: RunContext | None = None
+        self._cancel_pending = False
         self.catalog = Catalog()
         store.load_catalog(self.catalog)
         self._binder = Binder(self.catalog)
@@ -81,7 +112,16 @@ class Session:
             optimized, opt_ctx = optimize(
                 bound.plan, self.catalog, self.config, plan_cache=self.plan_cache
             )
-            run_ctx = RunContext(self.store, plan_cache=self.plan_cache)
+            run_ctx = RunContext(
+                self.store,
+                plan_cache=self.plan_cache,
+                retry_policy=self._retry_policy,
+                limits=self._limits,
+            )
+            self._active_ctx = run_ctx
+            if self._cancel_pending:
+                self._cancel_pending = False
+                run_ctx.cancel()
             with Stopwatch(run_ctx.metrics):
                 if self.config.engine == "batch":
                     rows = list(
@@ -91,11 +131,18 @@ class Session:
                     )
                 else:
                     rows = list(execute(optimized, run_ctx))
+            if self.store.strict_blocks == "verify":
+                # Strict mode: any operator that mutated a handed-out
+                # block vector in place corrupted stored data — fail
+                # the query rather than poison later ones.
+                self.store.verify_integrity()
         finally:
+            self._active_ctx = None
             # Entries pinned at planning time stay safe from eviction
             # for exactly the execution of this query.
             if self.plan_cache is not None:
                 self.plan_cache.release_pins()
+        run_ctx.metrics.deadline_remaining_ms = run_ctx.deadline_remaining_ms
         run_ctx.metrics.rows_output = len(rows)
         return QueryResult(
             bound.column_names,
@@ -105,6 +152,18 @@ class Session:
             optimized,
             list(opt_ctx.fired),
         )
+
+    def cancel(self) -> None:
+        """Cooperatively cancel the in-flight query; it aborts with
+        :class:`~repro.errors.QueryCancelledError` at the next block
+        boundary.  With no query in flight, the *next* ``execute`` is
+        cancelled immediately (so single-threaded callers and tests can
+        exercise the path deterministically)."""
+        ctx = self._active_ctx
+        if ctx is not None:
+            ctx.cancel()
+        else:
+            self._cancel_pending = True
 
     def reload_table(self, name: str) -> None:
         """Pick up replaced data for ``name`` (after ``store.put``).

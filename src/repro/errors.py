@@ -46,6 +46,44 @@ class ExecutionError(ReproError):
     saw more than one row, or a scalar function received bad input)."""
 
 
+class StorageError(ReproError):
+    """Base class for failures in the storage layer (the S3 stand-in).
+
+    Distinguishes *transient* faults, which a retry policy may absorb,
+    from *corruption*, which no retry can fix.
+    """
+
+
+class TransientReadError(StorageError):
+    """A chunk read failed transiently (the S3 analogue of a 500/503 or
+    a dropped connection).  Retried by the engine's retry policy; it
+    only reaches callers when retries are exhausted or disabled."""
+
+
+class DataCorruptionError(StorageError):
+    """A chunk (or cached result) no longer matches its build-time
+    checksum.  Not retried: the data itself is bad.  Detection evicts
+    any plan-cache entries derived from the affected table; reloading
+    the table (``store.put`` + ``session.reload_table``) recovers."""
+
+
+class QueryTimeoutError(ReproError):
+    """The query exceeded its per-query deadline (``timeout_ms``).
+    Raised cooperatively at block boundaries, so partial work is
+    abandoned promptly without leaving operators in a broken state."""
+
+
+class QueryCancelledError(ReproError):
+    """The query was cancelled cooperatively (``Session.cancel``),
+    observed at the next block boundary."""
+
+
+class ResourceExhaustedError(ReproError):
+    """A resource budget was exceeded: operator state grew past
+    ``max_state_rows`` or a spool past ``max_spool_rows``.  The limits
+    are per query; raise them or reduce the data processed."""
+
+
 class OptimizerError(ReproError):
     """An optimizer rule produced an invalid rewrite.
 

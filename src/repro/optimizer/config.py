@@ -62,6 +62,33 @@ class OptimizerConfig:
     #: Maximum subplans scheduled for cache population per query —
     #: bounds the materialization overhead of a cold first run.
     cache_max_populate: int = 4
+    #: Fault tolerance (see repro.storage.faults and DESIGN.md §9).
+    #: Fraction of chunk-read sites that fail transiently; > 0 makes
+    #: the session install a deterministic FaultInjector on its store.
+    fault_rate: float = 0.0
+    #: Seed for the fault injector and retry jitter.
+    fault_seed: int = 7
+    #: Bounded retries of transient read faults (0 = surface the first
+    #: fault as a TransientReadError).
+    max_retries: int = 3
+    #: Base delay of the exponential retry backoff.
+    retry_base_delay_ms: float = 1.0
+    #: Per-query deadline, enforced cooperatively at block boundaries
+    #: (None = no deadline; 0 times out at the first boundary).
+    timeout_ms: float | None = None
+    #: Row budget for any single materialized intermediate (spools,
+    #: plan-cache populations); None = unlimited.
+    max_spool_rows: int | None = None
+    #: Budget for total resident operator state in rows — the memory
+    #: stand-in covering join builds, aggregation hash tables, sorts.
+    max_state_rows: int | None = None
+    #: Verify chunk content checksums on every read (and plan-cache
+    #: entry checksums on every replay).
+    verify_checksums: bool = True
+    #: Strict block mode for tests/CI: "copy" hands out copied vectors,
+    #: "verify" re-checks all stored chunks after each query (None =
+    #: zero-copy fast path, no post-query sweep).
+    strict_blocks: str | None = None
     #: When True, distinct aggregates are lowered to MarkDistinct
     #: *before* the fusion rules run, exercising §III.F's MarkDistinct
     #: fusion on e.g. TPC-DS Q28.  The default lowers after fusion,
@@ -81,6 +108,23 @@ class OptimizerConfig:
             raise ValueError("cache_budget_mb must be positive")
         if self.cache_max_populate < 0:
             raise ValueError("cache_max_populate must be non-negative")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_base_delay_ms < 0:
+            raise ValueError("retry_base_delay_ms must be non-negative")
+        if self.timeout_ms is not None and self.timeout_ms < 0:
+            raise ValueError("timeout_ms must be non-negative")
+        if self.max_spool_rows is not None and self.max_spool_rows <= 0:
+            raise ValueError("max_spool_rows must be positive")
+        if self.max_state_rows is not None and self.max_state_rows <= 0:
+            raise ValueError("max_state_rows must be positive")
+        if self.strict_blocks not in (None, "copy", "verify"):
+            raise ValueError(
+                f"strict_blocks must be None, 'copy' or 'verify', "
+                f"got {self.strict_blocks!r}"
+            )
 
     def fusion_rules_enabled(self) -> bool:
         return self.enable_fusion and (

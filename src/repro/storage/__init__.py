@@ -1,6 +1,22 @@
 """Columnar partitioned storage with scan accounting (S3+Parquet stand-in)."""
 
 from repro.storage.accounting import ScanAccounting
-from repro.storage.columnar import ColumnChunk, Partition, Store, StoredTable
+from repro.storage.columnar import (
+    ColumnChunk,
+    Partition,
+    Store,
+    StoredTable,
+    chunk_checksum,
+)
+from repro.storage.faults import FaultInjector, RetryPolicy
 
-__all__ = ["ScanAccounting", "ColumnChunk", "Partition", "Store", "StoredTable"]
+__all__ = [
+    "ScanAccounting",
+    "ColumnChunk",
+    "Partition",
+    "Store",
+    "StoredTable",
+    "chunk_checksum",
+    "FaultInjector",
+    "RetryPolicy",
+]

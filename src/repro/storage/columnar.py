@@ -11,6 +11,15 @@ needs, and only those chunks are charged to the
 :class:`~repro.storage.accounting.ScanAccounting` — so a plan rewrite
 that drops a duplicate scan, or prunes columns/partitions, directly
 shows up as fewer bytes scanned, exactly the Figure-2 axis.
+
+Reads are also *fault tolerant*: every chunk carries a build-time
+content checksum that is re-verified on read (corruption raises
+:class:`~repro.errors.DataCorruptionError` and evicts any plan-cache
+entries derived from the table), and an optional
+:class:`~repro.storage.faults.FaultInjector` on the store can make
+reads fail transiently — absorbed by the caller's retry policy without
+double-charging accounting, since a chunk is charged only once its
+read succeeds.
 """
 
 from __future__ import annotations
@@ -20,7 +29,18 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.algebra.types import DataType, encoded_bytes
 from repro.catalog.catalog import Catalog, TableDef
-from repro.errors import CatalogError
+from repro.errors import CatalogError, DataCorruptionError, TransientReadError
+
+
+def chunk_checksum(values: Sequence) -> int:
+    """Content digest of a column vector.
+
+    Python's tuple hash: C-speed, stable within a process (checksums
+    never persist across processes), and sensitive to any single-value
+    change — which is exactly the bit-flip corruption model the fault
+    injector implements.
+    """
+    return hash(tuple(values))
 
 
 @dataclass
@@ -33,6 +53,9 @@ class ColumnChunk:
     encoded_size: float
     min_value: object | None = None
     max_value: object | None = None
+    #: Build-time content digest; None disables verification (chunks
+    #: constructed directly in tests).
+    checksum: int | None = None
 
     @classmethod
     def build(
@@ -42,7 +65,16 @@ class ColumnChunk:
         non_null = [v for v in values if v is not None]
         min_value = min(non_null) if non_null else None
         max_value = max(non_null) if non_null else None
-        return cls(name, dtype, list(values), per_value * len(values), min_value, max_value)
+        values = list(values)
+        return cls(
+            name,
+            dtype,
+            values,
+            per_value * len(values),
+            min_value,
+            max_value,
+            chunk_checksum(values),
+        )
 
 
 @dataclass
@@ -80,15 +112,27 @@ class StoredTable:
         definition: TableDef,
         data: dict[str, Sequence],
         partition_rows: int | None = None,
+        split: str = "rows",
     ) -> "StoredTable":
         """Build a stored table from column vectors.
 
-        If the definition has a partition column, rows are split into
-        contiguous runs of equal partition-key *ranges*; otherwise
-        ``partition_rows`` (or a single partition) chunks the data.
-        Data is assumed sorted by the partition column when one exists,
-        which the TPC-DS generator guarantees.
+        With the default ``split="rows"``, rows are chunked into
+        fixed-size partitions of ``partition_rows`` (one partition when
+        unset) — partition boundaries ignore the partition column, so
+        a key's rows may span two partitions.  This is the layout the
+        TPC-DS generator uses (its output is pinned by regression
+        tests).
+
+        ``split="key_range"`` (requires a partition column; data must
+        be sorted by it, NULLs first) aligns boundaries to key-run
+        edges so equal keys never span partitions: runs are packed
+        until a partition reaches ``partition_rows``; with
+        ``partition_rows`` unset, every distinct key gets its own
+        partition.  Falls back to ``"rows"`` behaviour when the
+        definition has no partition column.
         """
+        if split not in ("rows", "key_range"):
+            raise CatalogError(f"unknown split mode {split!r}")
         lower = {k.lower(): list(v) for k, v in data.items()}
         names = [c.name.lower() for c in definition.columns]
         missing = [n for n in names if n not in lower]
@@ -99,7 +143,12 @@ class StoredTable:
             if len(lower[n]) != total:
                 raise CatalogError(f"column {n!r} length mismatch in {definition.name!r}")
 
-        if partition_rows is None or partition_rows <= 0 or total == 0:
+        part_col = definition.partition_column
+        if split == "key_range" and part_col is not None and total:
+            boundaries = cls._key_range_boundaries(
+                lower[part_col.lower()], partition_rows
+            )
+        elif partition_rows is None or partition_rows <= 0 or total == 0:
             boundaries = [(0, total)]
         else:
             boundaries = [
@@ -118,6 +167,32 @@ class StoredTable:
             partitions.append(Partition(chunks, end - start))
         return cls(definition, partitions)
 
+    @staticmethod
+    def _key_range_boundaries(
+        keys: list, partition_rows: int | None
+    ) -> list[tuple[int, int]]:
+        """Partition boundaries aligned to key-run edges (see
+        :meth:`from_columns`).  ``keys`` is the partition column's full
+        vector; consecutive equal keys form one indivisible run."""
+        runs: list[int] = []  # start index of each key run
+        previous = object()
+        for i, key in enumerate(keys):
+            if i == 0 or key != previous:
+                runs.append(i)
+            previous = key
+        runs.append(len(keys))
+
+        target = partition_rows if partition_rows and partition_rows > 0 else 1
+        boundaries: list[tuple[int, int]] = []
+        start = 0
+        for run_end in runs[1:]:
+            if run_end - start >= target:
+                boundaries.append((start, run_end))
+                start = run_end
+        if start < len(keys):
+            boundaries.append((start, len(keys)))
+        return boundaries
+
     def total_bytes(self, columns: Iterable[str] | None = None) -> float:
         """Encoded size of the table (optionally a column subset)."""
         wanted = None if columns is None else {c.lower() for c in columns}
@@ -130,19 +205,46 @@ class StoredTable:
 
 
 class Store:
-    """In-memory object store holding all tables for a session."""
+    """In-memory object store holding all tables for a session.
 
-    def __init__(self) -> None:
+    ``fault_injector`` (a :class:`~repro.storage.faults.FaultInjector`)
+    makes reads fail like S3 does; ``verify_checksums`` re-checks every
+    chunk's build-time digest on read; ``strict_blocks`` is the opt-in
+    strict mode for tests/CI — ``"copy"`` hands out copied vectors so
+    an operator mutating a block in place cannot corrupt stored data,
+    ``"verify"`` keeps the zero-copy fast path but expects the caller
+    (``Session.execute``) to run :meth:`verify_integrity` after each
+    query, turning silent in-place mutation into a hard failure.
+    """
+
+    def __init__(
+        self,
+        fault_injector=None,
+        verify_checksums: bool = True,
+        strict_blocks: str | None = None,
+    ) -> None:
         self._tables: dict[str, StoredTable] = {}
+        self.fault_injector = fault_injector
+        self.verify_checksums = verify_checksums
+        if strict_blocks not in (None, "copy", "verify"):
+            raise ValueError(
+                f"strict_blocks must be None, 'copy' or 'verify', got {strict_blocks!r}"
+            )
+        self.strict_blocks = strict_blocks
 
     def put(self, table: StoredTable) -> None:
         self._tables[table.name.lower()] = table
 
-    def get(self, name: str) -> StoredTable:
+    def get(self, name: str, runtime=None) -> StoredTable:
         try:
-            return self._tables[name.lower()]
+            stored = self._tables[name.lower()]
         except KeyError:
             raise CatalogError(f"no stored data for table {name!r}") from None
+        if self.fault_injector is not None:
+            self.fault_injector.on_get(
+                name, metrics=None if runtime is None else runtime.metrics
+            )
+        return stored
 
     def has(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -216,6 +318,7 @@ class Store:
         accounting,
         partition_predicate: Callable[[ColumnChunk], bool] | None = None,
         block_rows: int | None = None,
+        runtime=None,
     ) -> Iterator[tuple[list[list], int]]:
         """Columnar fast path: yield ``(column_vectors, row_count)``
         blocks of the requested columns, charging accounting.
@@ -227,21 +330,33 @@ class Store:
         blocks (never spanning a partition boundary); accounting is
         identical either way, since it is charged per partition chunk.
         Callers must treat the yielded vectors as immutable: small
-        partitions hand out the stored chunk lists by reference.
+        partitions hand out the stored chunk lists by reference (unless
+        ``strict_blocks == "copy"``).
+
+        ``runtime`` (a :class:`~repro.engine.metrics.RunContext`)
+        supplies the retry policy for transient faults, deadline checks
+        at partition boundaries, fault/retry/verification counters, and
+        the plan cache to evict from when corruption is detected.  A
+        chunk is charged to ``accounting`` only once its read succeeds,
+        so retries never double-charge ``bytes_scanned``.
         """
-        stored = self.get(table_name)
+        stored = self.get(table_name, runtime=runtime)
         accounting.record_scan(stored.name)
         part_col = stored.definition.partition_column
-        for part in stored.partitions:
+        copy_out = self.strict_blocks == "copy"
+        for index, part in enumerate(stored.partitions):
             if partition_predicate is not None and part_col is not None:
                 if not partition_predicate(part.chunk(part_col)):
                     continue
+            if runtime is not None:
+                runtime.checkpoint()
             accounting.record_partition(part.row_count)
             vectors = []
             for name in columns:
                 chunk = part.chunk(name)
+                values = self._read_chunk_values(stored.name, index, chunk, runtime)
                 accounting.record_chunk(stored.name, chunk.encoded_size)
-                vectors.append(chunk.values)
+                vectors.append(list(values) if copy_out else values)
             total = part.row_count
             if block_rows is None or total <= block_rows:
                 yield vectors, total
@@ -250,20 +365,95 @@ class Store:
                     end = min(start + block_rows, total)
                     yield [v[start:end] for v in vectors], end - start
 
+    def _read_chunk_values(
+        self, table: str, partition: int, chunk: ColumnChunk, runtime
+    ) -> list:
+        """One chunk read: fault injection, checksum verification, and
+        bounded retries of transient failures.
+
+        Transient faults are retried per the runtime's policy (with
+        backoff); corruption is never retried — it evicts plan-cache
+        entries over ``table`` and raises
+        :class:`~repro.errors.DataCorruptionError` with recovery steps.
+        """
+        injector = self.fault_injector
+        if injector is None and not self.verify_checksums:
+            return chunk.values
+        policy = None if runtime is None else runtime.retry_policy
+        metrics = None if runtime is None else runtime.metrics
+        site = (table.lower(), partition, chunk.name.lower())
+        attempt = 0
+        while True:
+            try:
+                if injector is not None:
+                    injector.on_chunk_read(site, chunk, attempt, metrics=metrics)
+                if self.verify_checksums and chunk.checksum is not None:
+                    if metrics is not None:
+                        metrics.checksum_verifications += 1
+                    if chunk_checksum(chunk.values) != chunk.checksum:
+                        if runtime is not None and runtime.plan_cache is not None:
+                            runtime.plan_cache.invalidate_table(table)
+                        raise DataCorruptionError(
+                            f"checksum mismatch on {table}.{chunk.name} partition "
+                            f"{partition}: stored data is corrupt; reload the table "
+                            "(store.put + session.reload_table) and re-run the query"
+                        )
+                return chunk.values
+            except TransientReadError as exc:
+                if policy is None or attempt >= policy.max_retries:
+                    raise TransientReadError(
+                        f"reading {table}.{chunk.name} partition {partition} failed "
+                        f"after {attempt + 1} attempt(s): {exc}; enable or raise "
+                        "retries (--retries) to absorb transient faults"
+                    ) from exc
+                policy.backoff(attempt, site)
+                attempt += 1
+                if metrics is not None:
+                    metrics.retries += 1
+
+    def verify_integrity(self, tables: Iterable[str] | None = None) -> int:
+        """Re-verify every stored chunk against its build-time checksum.
+
+        Returns the number of chunks checked; raises
+        :class:`~repro.errors.DataCorruptionError` naming the first
+        mismatching chunk.  Used by the ``strict_blocks="verify"`` mode
+        (and chaos tests) to turn silent in-place mutation of a
+        handed-out block vector into a hard failure.
+        """
+        wanted = None if tables is None else {t.lower() for t in tables}
+        checked = 0
+        for key, stored in self._tables.items():
+            if wanted is not None and key not in wanted:
+                continue
+            for index, part in enumerate(stored.partitions):
+                for chunk in part.chunks.values():
+                    if chunk.checksum is None:
+                        continue
+                    checked += 1
+                    if chunk_checksum(chunk.values) != chunk.checksum:
+                        raise DataCorruptionError(
+                            f"integrity check failed: {stored.name}.{chunk.name} "
+                            f"partition {index} no longer matches its build-time "
+                            "checksum (in-place mutation of a scanned block, or "
+                            "corruption); reload the table to recover"
+                        )
+        return checked
+
     def scan(
         self,
         table_name: str,
         columns: Sequence[str],
         accounting,
         partition_predicate: Callable[[ColumnChunk], bool] | None = None,
+        runtime=None,
     ) -> Iterator[tuple]:
         """Stream rows of the requested columns, charging accounting.
 
         Row-tuple view over :meth:`scan_blocks` (same pruning, same
-        accounting by construction).
+        accounting and fault handling by construction).
         """
         for vectors, count in self.scan_blocks(
-            table_name, columns, accounting, partition_predicate
+            table_name, columns, accounting, partition_predicate, runtime=runtime
         ):
             if vectors:
                 yield from zip(*vectors)

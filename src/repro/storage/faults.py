@@ -1,0 +1,241 @@
+"""Deterministic fault injection + retry policy for the object store.
+
+The paper's substrate is S3, where transient read failures, stragglers
+and (rarely) corrupt objects are routine; Athena's engine retries and
+degrades gracefully instead of failing whole query batches.  This
+module gives the in-memory :class:`~repro.storage.columnar.Store` the
+same failure surface, *deterministically*:
+
+* :class:`FaultInjector` decides per read **site** — a
+  ``(table, partition_index, column)`` triple — whether reads of that
+  chunk fail transiently, stall, or are bit-flip corrupted.  Every
+  decision is a pure function of ``(seed, site)``, so the same seed
+  always produces the same chaos and a test failure replays exactly.
+* :class:`RetryPolicy` bounds attempts with exponential backoff and
+  *deterministic* jitter (again a pure function of seed + site +
+  attempt), with an injectable ``sleep`` so tests run at full speed.
+
+A faulty site fails its first ``n`` read attempts (``n`` derived from
+the site hash, bounded by ``max_failures``) and then succeeds — so any
+retry budget ``>= max_failures`` makes every query identical to a
+fault-free run, while a zero budget surfaces a structured
+:class:`~repro.errors.TransientReadError` on first contact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import TransientReadError
+
+#: A read site: (table, partition index, column), all lowercase.
+Site = tuple[str, int, str]
+
+
+def _unit(seed: int, *key: object) -> float:
+    """Deterministic uniform value in [0, 1) from ``(seed, *key)``."""
+    digest = hashlib.sha256(repr((seed,) + key).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _draw(seed: int, *key: object) -> int:
+    """Deterministic 64-bit integer from ``(seed, *key)``."""
+    digest = hashlib.sha256(repr((seed,) + key).encode()).digest()
+    return int.from_bytes(digest[8:16], "big")
+
+
+def bit_flip(value: object) -> object:
+    """The corrupted form of one stored value (a single flipped bit
+    where the type allows, a sentinel change otherwise)."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ 1
+    if isinstance(value, float):
+        bits = struct.unpack("<Q", struct.pack("<d", value))[0]
+        return struct.unpack("<d", struct.pack("<Q", bits ^ 1))[0]
+    if isinstance(value, str):
+        if not value:
+            return "\x01"
+        return chr(ord(value[0]) ^ 1) + value[1:]
+    if value is None:
+        return 0
+    return value
+
+
+@dataclass
+class FaultStats:
+    """Cumulative counters over the injector's lifetime."""
+
+    transient_faults: int = 0
+    stalls: int = 0
+    corruptions: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.transient_faults + self.stalls + self.corruptions
+
+
+class FaultInjector:
+    """Seeded chaos source wrapping ``Store`` chunk reads and ``get``.
+
+    ``fault_rate`` is the fraction of read sites that fail transiently
+    (each such site fails its first 1..``max_failures`` attempts, then
+    succeeds).  ``stall_rate``/``stall_ms`` add latency stalls the same
+    way.  ``tables``/``columns`` restrict the blast radius by pattern.
+    Corruption is targeted explicitly via :meth:`corrupt_chunk` — it is
+    a one-shot, in-place bit flip of a stored value, detected by the
+    chunk checksum on the next read.
+    """
+
+    def __init__(
+        self,
+        fault_rate: float = 0.0,
+        seed: int = 0,
+        *,
+        max_failures: int = 2,
+        stall_rate: float = 0.0,
+        stall_ms: float = 0.0,
+        tables: Iterable[str] | None = None,
+        columns: Iterable[str] | None = None,
+        fail_gets: Iterable[str] = (),
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if not 0.0 <= stall_rate <= 1.0:
+            raise ValueError("stall_rate must be in [0, 1]")
+        if max_failures < 1:
+            raise ValueError("max_failures must be at least 1")
+        self.fault_rate = fault_rate
+        self.seed = seed
+        self.max_failures = max_failures
+        self.stall_rate = stall_rate
+        self.stall_ms = stall_ms
+        self.tables = None if tables is None else frozenset(t.lower() for t in tables)
+        self.columns = None if columns is None else frozenset(c.lower() for c in columns)
+        self.fail_gets = frozenset(t.lower() for t in fail_gets)
+        self.sleep = sleep
+        self.stats = FaultStats()
+        self._corrupt_targets: set[Site] = set()
+
+    # -- pattern matching -------------------------------------------------
+
+    def matches(self, site: Site) -> bool:
+        table, _, column = site
+        if self.tables is not None and table not in self.tables:
+            return False
+        if self.columns is not None and column not in self.columns:
+            return False
+        return True
+
+    def failures_at(self, site: Site) -> int:
+        """How many consecutive attempts fail at ``site`` (0 = healthy)."""
+        if self.fault_rate <= 0.0 or not self.matches(site):
+            return 0
+        if _unit(self.seed, "fault", site) >= self.fault_rate:
+            return 0
+        return 1 + _draw(self.seed, "failures", site) % self.max_failures
+
+    def stalls_at(self, site: Site) -> bool:
+        if self.stall_rate <= 0.0 or self.stall_ms <= 0.0 or not self.matches(site):
+            return False
+        return _unit(self.seed, "stall", site) < self.stall_rate
+
+    # -- corruption -------------------------------------------------------
+
+    def corrupt_chunk(self, table: str, partition: int, column: str) -> None:
+        """Schedule a one-shot bit flip of ``table``'s ``column`` chunk
+        in partition ``partition``, applied on its next read."""
+        self._corrupt_targets.add((table.lower(), partition, column.lower()))
+
+    # -- hooks called by the Store ---------------------------------------
+
+    def on_chunk_read(self, site: Site, chunk, attempt: int, metrics=None) -> None:
+        """Called before each chunk read attempt; may stall, corrupt the
+        stored chunk in place, or raise :class:`TransientReadError`."""
+        if site in self._corrupt_targets and chunk.values:
+            self._corrupt_targets.discard(site)
+            index = _draw(self.seed, "victim", site) % len(chunk.values)
+            chunk.values[index] = bit_flip(chunk.values[index])
+            self.stats.corruptions += 1
+            if metrics is not None:
+                metrics.faults_injected += 1
+        if self.stalls_at(site) and attempt == 0:
+            self.stats.stalls += 1
+            if metrics is not None:
+                metrics.faults_injected += 1
+            self.sleep(self.stall_ms / 1000.0)
+        failures = self.failures_at(site)
+        if attempt < failures:
+            self.stats.transient_faults += 1
+            if metrics is not None:
+                metrics.faults_injected += 1
+            table, partition, column = site
+            raise TransientReadError(
+                f"injected transient read failure on {table}.{column} "
+                f"partition {partition} (attempt {attempt + 1} of "
+                f"{failures} failing)"
+            )
+
+    def on_get(self, table: str, metrics=None) -> None:
+        """Called by ``Store.get``; fails lookups of tables listed in
+        ``fail_gets`` (table-level outage, e.g. a listing error)."""
+        if table.lower() in self.fail_gets:
+            self.stats.transient_faults += 1
+            if metrics is not None:
+                metrics.faults_injected += 1
+            raise TransientReadError(
+                f"injected transient failure opening table {table!r}"
+            )
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``max_retries`` counts retries *after* the first attempt; 0 disables
+    retrying.  Delay for retry ``attempt`` (0-based) is
+    ``base_delay_ms * multiplier**attempt`` capped at ``max_delay_ms``,
+    scaled by a jitter factor in ``[1 - jitter, 1 + jitter]`` that is a
+    pure function of ``(seed, site, attempt)`` — reproducible, but
+    de-synchronized across sites like randomized jitter would be.
+    ``sleep`` is injectable so tests pay no wall-clock cost.
+    """
+
+    max_retries: int = 3
+    base_delay_ms: float = 1.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 50.0
+    jitter: float = 0.25
+    seed: int = 0
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValueError("retry delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_ms(self, attempt: int, site: object = ()) -> float:
+        delay = min(self.base_delay_ms * self.multiplier**attempt, self.max_delay_ms)
+        if self.jitter:
+            swing = 2.0 * _unit(self.seed, "retry", site, attempt) - 1.0
+            delay *= 1.0 + self.jitter * swing
+        return delay
+
+    def backoff(self, attempt: int, site: object = ()) -> None:
+        """Sleep the (deterministic) delay before retry ``attempt``."""
+        delay = self.delay_ms(attempt, site)
+        if delay > 0:
+            self.sleep(delay / 1000.0)
+
+
+#: Retrying disabled: first transient fault surfaces to the caller.
+NO_RETRY = RetryPolicy(max_retries=0, base_delay_ms=0.0, jitter=0.0)

@@ -1,0 +1,191 @@
+"""Error taxonomy: every public error class is reachable through
+``Session.execute`` on real SQL, carries an actionable message, and
+derives from :class:`~repro.errors.ReproError` — the single type the
+CLI (and any embedding application) needs to catch.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.algebra.expressions import integer
+from repro.algebra.operators import GroupBy
+from repro.algebra.visitors import collect, substitute_in_plan
+from repro.algebra.types import DataType
+from repro.catalog.catalog import ColumnDef, TableDef
+from repro.cli import main
+from repro.engine.session import Session
+from repro.errors import (
+    BindingError,
+    CatalogError,
+    DataCorruptionError,
+    ExecutionError,
+    OptimizerError,
+    PlanError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ReproError,
+    ResourceExhaustedError,
+    SqlSyntaxError,
+    StorageError,
+    TransientReadError,
+)
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.rewrites.simplify import SimplifyExpressions
+from repro.storage.columnar import Store
+from repro.storage.faults import FaultInjector
+
+from tests.conftest import simple_table
+
+
+def _store():
+    store = Store()
+    store.put(
+        simple_table(
+            "people",
+            [("id", DataType.INTEGER), ("age", DataType.INTEGER)],
+            [(1, 30), (2, 40), (3, 40)],
+            primary_key=("id",),
+        )
+    )
+    return store
+
+
+@pytest.fixture()
+def session():
+    return Session(_store())
+
+
+# -- hierarchy --------------------------------------------------------------
+
+
+def test_every_public_error_derives_from_repro_error():
+    classes = [
+        obj
+        for name, obj in vars(errors_module).items()
+        if inspect.isclass(obj) and issubclass(obj, Exception) and not name.startswith("_")
+    ]
+    assert len(classes) >= 13
+    for cls in classes:
+        assert issubclass(cls, ReproError), cls
+    # The storage sub-hierarchy distinguishes retryable from fatal.
+    assert issubclass(TransientReadError, StorageError)
+    assert issubclass(DataCorruptionError, StorageError)
+    assert not issubclass(QueryTimeoutError, StorageError)
+
+
+# -- one real-SQL trigger per class -----------------------------------------
+
+
+def test_sql_syntax_error(session):
+    with pytest.raises(SqlSyntaxError, match="line 1"):
+        session.execute("SELEC 1")
+
+
+def test_binding_error_unknown_column(session):
+    with pytest.raises(BindingError, match="ghost"):
+        session.execute("SELECT ghost FROM people")
+
+
+def test_binding_error_unknown_table(session):
+    with pytest.raises(BindingError, match="missing_table"):
+        session.execute("SELECT id FROM missing_table")
+
+
+def test_catalog_error_registered_but_unstored(session):
+    session.catalog.register(TableDef("ghost_t", (ColumnDef("x", DataType.INTEGER),)))
+    with pytest.raises(CatalogError, match="no stored data"):
+        session.execute("SELECT x FROM ghost_t")
+
+
+def test_execution_error_scalar_subquery_cardinality(session):
+    with pytest.raises(ExecutionError, match="more than one row"):
+        session.execute("SELECT (SELECT id FROM people) AS x")
+
+
+def test_optimizer_error_buggy_pass(session, monkeypatch):
+    monkeypatch.setattr(SimplifyExpressions, "run", lambda self, plan, ctx: None)
+    with pytest.raises(OptimizerError, match="returned None"):
+        session.execute("SELECT id FROM people")
+
+
+def test_plan_error_invalid_substitution(session, monkeypatch):
+    # A rule that maps a GROUP BY key (a column-valued position) to a
+    # literal produces an invalid plan; the algebra layer rejects it.
+    original = SimplifyExpressions.run
+
+    def sabotage(self, plan, ctx):
+        plan = original(self, plan, ctx)
+        for node in collect(plan, GroupBy):
+            if node.keys:
+                substitute_in_plan(node, {node.keys[0].cid: integer(1)})
+        return plan
+
+    monkeypatch.setattr(SimplifyExpressions, "run", sabotage)
+    with pytest.raises(PlanError, match="column-valued position"):
+        session.execute("SELECT age, count(*) AS n FROM people GROUP BY age")
+
+
+def test_transient_read_error_when_retries_disabled():
+    session = Session(_store(), OptimizerConfig(fault_rate=1.0, max_retries=0))
+    with pytest.raises(TransientReadError, match="--retries"):
+        session.execute("SELECT sum(age) FROM people")
+
+
+def test_data_corruption_error_names_the_chunk():
+    store = _store()
+    store.fault_injector = FaultInjector(seed=7)
+    store.fault_injector.corrupt_chunk("people", 0, "age")
+    session = Session(store)
+    with pytest.raises(DataCorruptionError, match="people.age"):
+        session.execute("SELECT sum(age) FROM people")
+
+
+def test_query_timeout_error():
+    session = Session(_store(), OptimizerConfig(timeout_ms=0))
+    with pytest.raises(QueryTimeoutError, match="deadline"):
+        session.execute("SELECT sum(age) FROM people")
+
+
+def test_query_cancelled_error():
+    session = Session(_store())
+    session.cancel()
+    with pytest.raises(QueryCancelledError, match="cancelled"):
+        session.execute("SELECT sum(age) FROM people")
+
+
+def test_resource_exhausted_error():
+    session = Session(_store(), OptimizerConfig(max_state_rows=1))
+    with pytest.raises(ResourceExhaustedError, match="max_state_rows"):
+        session.execute("SELECT age, count(*) AS n FROM people GROUP BY age")
+
+
+# -- the CLI catches exactly ReproError -------------------------------------
+
+_CLI_FAILURES = [
+    ["SELEC 1"],
+    ["SELECT ghost FROM reason"],
+    ["--timeout-ms", "0", "SELECT count(*) FROM reason"],
+    ["--fault-rate", "1.0", "--retries", "0", "--scale", "0.01",
+     "SELECT max(r_reason_sk) FROM reason"],
+]
+
+
+@pytest.mark.parametrize("argv", _CLI_FAILURES)
+def test_cli_reports_structured_error(argv, capsys):
+    base = [] if "--scale" in argv else ["--scale", "0.01"]
+    assert main(base + argv) == 1
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error: ")
+    assert "Traceback" not in captured.err
+
+
+def test_cli_does_not_mask_non_repro_errors(monkeypatch):
+    # Programming errors must escape the ReproError boundary so they
+    # fail loudly instead of being reported as query errors.
+    monkeypatch.setattr(Session, "execute", lambda self, sql: 1 / 0)
+    with pytest.raises(ZeroDivisionError):
+        main(["--scale", "0.01", "SELECT 1"])
