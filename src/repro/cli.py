@@ -9,6 +9,10 @@ baseline and fusion pipelines::
     python -m repro --compare "SELECT ..."          # run both, diff metrics
     python -m repro --cache --repeat 2 "SELECT ..." # cross-query reuse cache
 
+or run the differential fuzzer (see repro.testing)::
+
+    python -m repro fuzz --seed 0 --count 2000
+
 The dataset is regenerated per invocation (it is deterministic, so
 results are stable across runs with the same ``--scale``/``--seed``).
 """
@@ -112,7 +116,83 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="budget for resident operator state in rows (default: none)",
     )
+    parser.add_argument(
+        "--validate-plans",
+        action="store_true",
+        help="run the plan invariant validator after every optimizer rule",
+    )
     return parser
+
+
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Differential fuzzing: seeded random queries checked "
+        "across {row,batch} x {fusion on,off} x {cache cold,warm} with the "
+        "plan invariant validator on.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="query-generator seed")
+    parser.add_argument("--count", type=int, default=200, help="queries to run")
+    parser.add_argument(
+        "--scale", type=float, default=0.01, help="dataset scale factor"
+    )
+    parser.add_argument(
+        "--data-seed", type=int, default=7, help="dataset generator seed"
+    )
+    parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="skip delta-debugging minimization of failing queries",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true", help="stop at the first divergence"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write a JSON report (incl. minimized failing queries) here",
+    )
+    parser.add_argument(
+        "--progress-every",
+        type=int,
+        default=500,
+        help="print a progress line every N queries (0 = quiet)",
+    )
+    return parser
+
+
+def fuzz_main(argv: list[str]) -> int:
+    """``repro fuzz``: run a campaign, print the report, exit non-zero
+    on any divergence."""
+    import json
+
+    from repro.testing import run_fuzz
+
+    args = build_fuzz_parser().parse_args(argv)
+
+    def progress(done: int, report) -> None:
+        if args.progress_every and done % args.progress_every == 0:
+            print(
+                f"... {done}/{args.count} "
+                f"({len(report.failures)} divergences so far)",
+                flush=True,
+            )
+
+    report = run_fuzz(
+        seed=args.seed,
+        count=args.count,
+        scale=args.scale,
+        data_seed=args.data_seed,
+        minimize_failures=not args.no_minimize,
+        fail_fast=args.fail_fast,
+        progress=progress,
+    )
+    print(report.summary())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
 
 
 def _print_result(result, limit: int, explain: bool) -> None:
@@ -130,6 +210,10 @@ def _print_result(result, limit: int, explain: bool) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     store = generate_dataset(scale=args.scale, seed=args.seed)
 
@@ -144,6 +228,7 @@ def main(argv: list[str] | None = None) -> int:
         "timeout_ms": args.timeout_ms,
         "max_spool_rows": args.max_spool_rows,
         "max_state_rows": args.max_state_rows,
+        "validate_plans": args.validate_plans,
     }
     try:
         if args.compare:

@@ -69,13 +69,25 @@ from repro.fusion.result import FusionResult
 class Fuser:
     """Stateful fusion driver (needs an allocator for fresh columns)."""
 
-    def __init__(self, allocator: ColumnAllocator):
+    def __init__(self, allocator: ColumnAllocator, validate: bool = False):
         self.allocator = allocator
+        #: Check §III's contract (mapping soundness, live compensators)
+        #: on every successful fusion — set from
+        #: ``OptimizerConfig(validate_plans=True)``.
+        self.validate = validate
 
     # -- dispatch ----------------------------------------------------------
 
     def fuse(self, p1: PlanNode, p2: PlanNode) -> FusionResult | None:
         """Fuse two plans; None when fusion is not possible."""
+        result = self._dispatch(p1, p2)
+        if result is not None and self.validate:
+            from repro.algebra.validator import validate_fusion_result
+
+            validate_fusion_result(result, p1, p2)
+        return result
+
+    def _dispatch(self, p1: PlanNode, p2: PlanNode) -> FusionResult | None:
         if type(p1) is type(p2):
             handler = self._HANDLERS.get(type(p1))
             if handler is not None:
@@ -324,7 +336,16 @@ class Fuser:
         mask: Expression,
     ) -> Column:
         """The compensating ``COUNT(*) FILTER (mask)`` column, reusing
-        an existing aggregate when one matches."""
+        an existing aggregate when one matches.
+
+        The merged aggregates were keyed on *simplified* masks
+        (``simplify(make_and([mask, filter]))``), so the compensation
+        mask must be simplified the same way before keying — otherwise
+        e.g. an unsimplified scan-predicate compensator ``NOT (x <= 5)``
+        misses the existing ``count(*) FILTER (x > 5)`` and a duplicate
+        count column is emitted.
+        """
+        mask = simplify(mask)
         key = ("count", None, normalize(mask), False)
         existing = index.get(key)
         if existing is not None:

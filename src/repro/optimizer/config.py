@@ -89,6 +89,13 @@ class OptimizerConfig:
     #: "verify" re-checks all stored chunks after each query (None =
     #: zero-copy fast path, no post-query sweep).
     strict_blocks: str | None = None
+    #: Run the plan invariant validator
+    #: (:func:`repro.algebra.validator.validate_plan`) on the pipeline
+    #: input and after every pass that changes the plan, and check the
+    #: §III fusion contract after every successful ``Fuse``.  Errors
+    #: name the offending rule.  Off by default (it costs a full tree
+    #: walk per pass); the differential fuzzer and CI turn it on.
+    validate_plans: bool = False
     #: When True, distinct aggregates are lowered to MarkDistinct
     #: *before* the fusion rules run, exercising §III.F's MarkDistinct
     #: fusion on e.g. TPC-DS Q28.  The default lowers after fusion,

@@ -37,7 +37,7 @@ class OptimizerContext:
         from repro.optimizer.stats import CardinalityEstimator
 
         self.allocator: ColumnAllocator = self.catalog.allocator
-        self.fuser = Fuser(self.allocator)
+        self.fuser = Fuser(self.allocator, validate=self.config.validate_plans)
         self.estimator = CardinalityEstimator(self.catalog)
         self._spool_counter = 0
 

@@ -155,7 +155,16 @@ class GroupByJoinToWindow(JoinGraphRule):
                 for agg in grouped.aggregates
             )
             not_null = make_and(Not(IsNull(ColumnRef(c))) for c in partition)
-            replacement = Window(Filter(other, not_null), tuple(partition), functions)
+            # The window must sit on the *fused* plan, not on ``other``:
+            # the aggregate arguments are mapped through M into P's
+            # columns, and P2-only columns (e.g. an aggregated column
+            # the probe side never reads) exist only in P.  With
+            # ``is_exact`` P has the same row multiset as ``other``
+            # (P1 = Project[outCols(P1)](P)), so the substitution is
+            # row-preserving.
+            replacement = Window(
+                Filter(result.plan, not_null), tuple(partition), functions
+            )
 
             # Key outputs map to the partition columns; aggregate
             # outputs keep their identity (the window targets reuse

@@ -15,8 +15,9 @@ from __future__ import annotations
 import abc
 
 from repro.algebra.operators import PlanNode
+from repro.algebra.validator import validate_plan
 from repro.algebra.visitors import transform_up
-from repro.errors import OptimizerError
+from repro.errors import OptimizerError, PlanError
 from repro.optimizer.context import OptimizerContext
 
 
@@ -65,14 +66,26 @@ class Pipeline:
         self.passes = passes
 
     def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
+        validate = ctx.config.validate_plans
+        if validate:
+            _checked(plan, ctx, "pipeline input")
         for plan_pass in self.passes:
             before = plan
             plan = plan_pass.run(plan, ctx)
             if plan is None:  # defensive: a buggy pass returned nothing
                 raise OptimizerError(f"pass {plan_pass.name} returned None")
-            if plan is not before and plan != before:
-                pass  # changed; nothing extra to do, kept for clarity
+            if validate and plan is not before:
+                _checked(plan, ctx, plan_pass.name)
         return plan
+
+
+def _checked(plan: PlanNode, ctx: OptimizerContext, origin: str) -> None:
+    """Validate ``plan``, converting a violation into an OptimizerError
+    that names the pass that produced the invalid tree."""
+    try:
+        validate_plan(plan, ctx.catalog)
+    except PlanError as exc:
+        raise OptimizerError(f"rule {origin!r} produced an invalid plan: {exc}") from exc
 
 
 def run_pipeline(plan: PlanNode, passes: list[PlanPass], ctx: OptimizerContext) -> PlanNode:

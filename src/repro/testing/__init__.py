@@ -1,0 +1,32 @@
+"""Differential testing infrastructure (fuzzer, oracle, minimizer).
+
+The safety net for the fusion rewrites: a seeded SQL query generator
+over the TPC-DS catalog, a differential oracle that cross-checks every
+query over {row, batch} × {fusion on/off} × {cache cold/warm} with the
+plan invariant validator armed, and a delta-debugging minimizer for
+the queries that diverge.  Entry points:
+
+* :func:`repro.testing.runner.run_fuzz` — a full campaign (used by
+  ``repro fuzz`` and CI);
+* :class:`repro.testing.oracle.DifferentialOracle` — check one query;
+* :class:`repro.testing.generator.QueryGenerator` — the seeded stream;
+* :func:`repro.testing.minimizer.minimize` — shrink a failing spec.
+"""
+
+from repro.testing.generator import QueryGenerator, QuerySpec, SelectBlock
+from repro.testing.minimizer import minimize
+from repro.testing.oracle import DifferentialOracle, Divergence, canonical_rows
+from repro.testing.runner import FuzzFailure, FuzzReport, run_fuzz
+
+__all__ = [
+    "DifferentialOracle",
+    "Divergence",
+    "FuzzFailure",
+    "FuzzReport",
+    "QueryGenerator",
+    "QuerySpec",
+    "SelectBlock",
+    "canonical_rows",
+    "minimize",
+    "run_fuzz",
+]

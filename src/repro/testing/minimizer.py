@@ -1,0 +1,130 @@
+"""Delta-debugging minimizer for fuzzer-found failing queries.
+
+Greedy structural shrinking over :class:`~repro.testing.generator.
+QuerySpec`: each step proposes removing one element (a UNION branch, a
+CTE, a join, a WHERE conjunct, a select item, a group key, an
+aggregate, HAVING, DISTINCT, ORDER BY/LIMIT) and keeps the shrunk spec
+iff the caller's ``still_fails`` predicate holds.  On success the scan
+restarts from the smaller spec, iterating to a fixpoint.
+
+Shrink moves are deliberately sloppy — they may produce SQL that no
+longer binds (e.g. dropping a join whose columns the select list still
+references).  That is fine: an unbindable query fails *uniformly*
+across the oracle's matrix with a benign error class, which changes
+the failure signature, so ``still_fails`` rejects the shrink.  The
+oracle is the validity check; the minimizer stays simple.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator
+
+from repro.testing.generator import QuerySpec, SelectBlock
+
+
+def minimize(
+    spec: QuerySpec,
+    still_fails: Callable[[QuerySpec], bool],
+    max_checks: int = 400,
+) -> QuerySpec:
+    """The smallest spec (under greedy one-element deletion) that still
+    satisfies ``still_fails``.  ``max_checks`` bounds oracle calls."""
+    spec = copy.deepcopy(spec)
+    checks = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for candidate in _shrinks(spec):
+            checks += 1
+            if checks > max_checks:
+                break
+            if still_fails(candidate):
+                spec = candidate
+                progress = True
+                break
+    return spec
+
+
+def _shrinks(spec: QuerySpec) -> Iterator[QuerySpec]:
+    """All one-step shrinks of ``spec``, biggest deletions first."""
+    if len(spec.branches) > 1:
+        for i in range(len(spec.branches)):
+            shrunk = copy.deepcopy(spec)
+            del shrunk.branches[i]
+            yield shrunk
+    for i in range(len(spec.ctes)):
+        shrunk = copy.deepcopy(spec)
+        del shrunk.ctes[i]
+        yield shrunk
+    if spec.limit is not None:
+        shrunk = copy.deepcopy(spec)
+        shrunk.limit = None
+        yield shrunk
+    if spec.order_by:
+        shrunk = copy.deepcopy(spec)
+        shrunk.order_by = False
+        shrunk.limit = None
+        yield shrunk
+
+    for path, block in _blocks(spec):
+        yield from _block_shrinks(spec, path, block)
+
+
+def _blocks(spec: QuerySpec) -> list[tuple[tuple, SelectBlock]]:
+    """(path, block) pairs for every SelectBlock in the spec, including
+    CTE bodies and derived-table join sources (one level deep)."""
+    found: list[tuple[tuple, SelectBlock]] = []
+    for i, block in enumerate(spec.branches):
+        found.append((("branch", i), block))
+        for j, join in enumerate(block.joins):
+            if join.query is not None:
+                found.append((("branch", i, "join", j), join.query))
+    for i, (_, block) in enumerate(spec.ctes):
+        found.append((("cte", i), block))
+        for j, join in enumerate(block.joins):
+            if join.query is not None:
+                found.append((("cte", i, "join", j), block.joins[j].query))
+    return found
+
+
+def _resolve(spec: QuerySpec, path: tuple) -> SelectBlock:
+    if path[0] == "branch":
+        block = spec.branches[path[1]]
+    else:
+        block = spec.ctes[path[1]][1]
+    if len(path) > 2:  # ("branch"|"cte", i, "join", j)
+        block = block.joins[path[3]].query
+    return block
+
+
+def _block_shrinks(
+    spec: QuerySpec, path: tuple, block: SelectBlock
+) -> Iterator[QuerySpec]:
+    def variant(mutate: Callable[[SelectBlock], None]) -> QuerySpec:
+        shrunk = copy.deepcopy(spec)
+        mutate(_resolve(shrunk, path))
+        return shrunk
+
+    for i in range(len(block.joins)):
+        yield variant(lambda b, i=i: b.joins.pop(i))
+    if len(block.where) > 1:
+        yield variant(lambda b: b.where.clear())
+    for i in range(len(block.where)):
+        yield variant(lambda b, i=i: b.where.pop(i))
+    for i in range(len(block.having)):
+        yield variant(lambda b, i=i: b.having.pop(i))
+    for i in range(len(block.aggregates)):
+        yield variant(lambda b, i=i: b.aggregates.pop(i))
+    for i, agg in enumerate(block.aggregates):
+        if agg.mask is not None:
+            yield variant(lambda b, i=i: setattr(b.aggregates[i], "mask", None))
+        if agg.distinct:
+            yield variant(lambda b, i=i: setattr(b.aggregates[i], "distinct", False))
+    for i in range(len(block.group_by)):
+        yield variant(lambda b, i=i: b.group_by.pop(i))
+    if len(block.select) > 1:
+        for i in range(len(block.select)):
+            yield variant(lambda b, i=i: b.select.pop(i))
+    if block.distinct:
+        yield variant(lambda b: setattr(b, "distinct", False))

@@ -1,0 +1,198 @@
+"""Differential oracle: one query, eight answers, zero tolerance.
+
+Each query runs across the full configuration matrix
+
+    {row, batch} engine × {fusion on, off} × {cache cold, warm replay}
+
+— eight cells, every one with ``validate_plans=True`` so the per-rule
+plan invariant validator is armed.  The cold/warm dimension comes from
+executing the query twice in a fresh cache-enabled session: the first
+run populates the cross-query plan cache, the second replays it.
+
+A query *passes* when all eight cells produce the same row multiset
+(floats canonicalized to 10 significant digits — fusion legitimately
+reorders float accumulation) or all eight fail with the same benign
+error class (the generator occasionally produces SQL the binder
+rejects; that is uniform and expected).  Everything else is a
+:class:`Divergence`:
+
+* ``rows``  — cells disagree on the result multiset;
+* ``error`` — cells disagree on outcome/error class, or agree on an
+  error class that should never happen (ExecutionError, PlanError …);
+* ``validator`` — the plan invariant validator fired (OptimizerError);
+* ``crash`` — a non-ReproError exception escaped the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.session import Session
+from repro.errors import BindingError, OptimizerError, ReproError, SqlSyntaxError
+from repro.optimizer.config import OptimizerConfig
+from repro.storage.columnar import Store
+
+#: Error classes that may legitimately be raised for generated SQL, as
+#: long as every cell agrees: the query never started executing.
+BENIGN_ERRORS = ("SqlSyntaxError", "BindingError")
+
+#: Significant digits floats are canonicalized to before comparison.
+FLOAT_DIGITS = 10
+
+
+@dataclass
+class CellOutcome:
+    """What one configuration cell produced for a query."""
+
+    rows: list[tuple] | None
+    error: str | None = None  # error class name; "crash:<Type>" for non-Repro
+    message: str = ""
+
+    @property
+    def signature(self) -> str:
+        return "rows" if self.error is None else self.error
+
+
+@dataclass
+class Divergence:
+    """A failed differential check."""
+
+    sql: str
+    kind: str  # "rows" | "error" | "validator" | "crash"
+    detail: str
+    cells: dict[str, str] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        lines = [f"[{self.kind}] {self.detail}", f"  sql: {self.sql}"]
+        for cell, sig in self.cells.items():
+            lines.append(f"  {cell}: {sig}")
+        return "\n".join(lines)
+
+
+def canonical_value(value: object) -> object:
+    """Floats rounded to FLOAT_DIGITS significant digits; everything
+    else unchanged.  Fusion changes plan shapes and therefore float
+    accumulation order, so last-ulp differences are not divergences."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        return float(f"{value:.{FLOAT_DIGITS}g}")
+    return value
+
+
+def canonical_rows(rows: list[tuple]) -> list[tuple]:
+    """A canonical multiset representation: per-value float rounding,
+    then a total order over rows (None sorts last per column)."""
+    canon = [tuple(canonical_value(v) for v in row) for row in rows]
+    return sorted(canon, key=lambda r: tuple((v is None, str(v)) for v in r))
+
+
+class DifferentialOracle:
+    """Runs queries across the full config matrix against one store."""
+
+    def __init__(self, store: Store, batch_rows: int = 128):
+        self.store = store
+        self.batch_rows = batch_rows
+        #: Status of the most recent ``check`` call: "ok", "benign" (a
+        #: uniform parse/bind error), or "divergence".  Drivers read it
+        #: for reporting; it carries no oracle state.
+        self.last_status = "ok"
+        self.last_error_class: str | None = None
+
+    # -- one cell ----------------------------------------------------------
+
+    def _config(self, engine: str, fusion: bool) -> OptimizerConfig:
+        return OptimizerConfig(
+            engine=engine,
+            enable_fusion=fusion,
+            enable_plan_cache=True,
+            validate_plans=True,
+            batch_rows=self.batch_rows,
+        )
+
+    def _run_once(self, session: Session, sql: str) -> CellOutcome:
+        try:
+            result = session.execute(sql)
+            return CellOutcome(rows=canonical_rows(result.rows))
+        except (SqlSyntaxError, BindingError) as exc:
+            return CellOutcome(None, error=type(exc).__name__, message=str(exc))
+        except ReproError as exc:
+            return CellOutcome(None, error=type(exc).__name__, message=str(exc))
+        except RecursionError as exc:
+            return CellOutcome(None, error="crash:RecursionError", message=str(exc))
+        except Exception as exc:  # noqa: BLE001 - the whole point of the oracle
+            return CellOutcome(
+                None, error=f"crash:{type(exc).__name__}", message=str(exc)
+            )
+
+    # -- the matrix --------------------------------------------------------
+
+    def run_matrix(self, sql: str) -> dict[str, CellOutcome]:
+        """All eight cells for one query."""
+        outcomes: dict[str, CellOutcome] = {}
+        for engine in ("row", "batch"):
+            for fusion in (False, True):
+                session = Session(self.store, self._config(engine, fusion))
+                label = f"{engine}/{'fusion' if fusion else 'baseline'}"
+                outcomes[f"{label}/cold"] = self._run_once(session, sql)
+                outcomes[f"{label}/warm"] = self._run_once(session, sql)
+        return outcomes
+
+    def check(self, sql: str) -> Divergence | None:
+        """None when all cells agree benignly; a Divergence otherwise."""
+        outcomes = self.run_matrix(sql)
+        signatures = {cell: out.signature for cell, out in outcomes.items()}
+        distinct = set(signatures.values())
+        self.last_status = "ok"
+        self.last_error_class = None
+
+        if len(distinct) > 1:
+            self.last_status = "divergence"
+            detail = "cells disagree on outcome: " + ", ".join(sorted(distinct))
+            kind = "error"
+            if any(s.startswith("crash:") for s in distinct):
+                kind = "crash"
+            return Divergence(sql, kind, detail, signatures)
+
+        (signature,) = distinct
+        if signature != "rows":
+            first = next(iter(outcomes.values()))
+            if signature in BENIGN_ERRORS:
+                self.last_status = "benign"
+                self.last_error_class = signature
+                return None
+            self.last_status = "divergence"
+            if signature == OptimizerError.__name__:
+                kind = "validator"
+            elif signature.startswith("crash:"):
+                kind = "crash"
+            else:
+                kind = "error"
+            return Divergence(
+                sql, kind, f"all cells failed with {signature}: {first.message}",
+                signatures,
+            )
+
+        reference_cell = "row/baseline/cold"
+        reference = outcomes[reference_cell].rows
+        for cell, outcome in outcomes.items():
+            if outcome.rows != reference:
+                self.last_status = "divergence"
+                detail = (
+                    f"{cell} disagrees with {reference_cell}: "
+                    f"{_diff_summary(reference, outcome.rows)}"
+                )
+                cells = {
+                    c: f"{len(o.rows)} rows" for c, o in outcomes.items()
+                }
+                return Divergence(sql, "rows", detail, cells)
+        return None
+
+
+def _diff_summary(expected: list[tuple], actual: list[tuple]) -> str:
+    if len(expected) != len(actual):
+        return f"{len(expected)} vs {len(actual)} rows"
+    for i, (e, a) in enumerate(zip(expected, actual)):
+        if e != a:
+            return f"first differing row {i}: {e!r} vs {a!r}"
+    return "rows differ"
