@@ -1,16 +1,18 @@
-"""A/B benchmark: row-at-a-time vs. vectorized batch execution engine.
+"""A/B/C benchmark: row, vectorized batch, and compiled engines.
 
-Runs the TPC-DS proxy workload under both backends on identical plans
-(planned once, executed ``--repeat`` times each, best time kept) and
-writes a ``BENCH_engine.json`` trajectory file — per-query wall time,
-rows/sec, and speedup ratio, plus geometric means over the full
-workload and over the scan/filter/project-heavy subset — so later PRs
-can track engine regressions::
+Runs the TPC-DS proxy workload under all three backends on identical
+plans (planned once, executed ``--repeat`` times each, best time kept)
+and writes a ``BENCH_engine.json`` trajectory file — per-query wall
+time, rows/sec, and speedup ratios over the row engine, plus geometric
+means over the full workload and over the scan/filter/project-heavy
+subset — so later PRs can track engine regressions::
 
     PYTHONPATH=src python benchmarks/bench_engine_ab.py
     PYTHONPATH=src python benchmarks/bench_engine_ab.py --scale tiny --repeat 1
 
-Result equivalence is asserted per query before timing anything.
+The compiled engine runs with the NumPy vector backend when available
+(recorded under ``compiled_vectors``).  Result equivalence is asserted
+per query before timing anything.
 """
 
 from __future__ import annotations
@@ -23,9 +25,11 @@ import sys
 import time
 
 from repro.engine.batch_executor import execute_batch
+from repro.engine.compiled import execute_compiled
 from repro.engine.executor import execute
 from repro.engine.metrics import RunContext
 from repro.engine.session import Session
+from repro.engine.vectors import numpy_enabled
 from repro.optimizer.config import OptimizerConfig
 from repro.tpcds.generator import generate_dataset
 from repro.tpcds.queries import WORKLOAD_QUERIES
@@ -74,26 +78,51 @@ def time_engine(runner, repeat: int) -> float:
     return best
 
 
+def _canonical(rows: list[tuple]) -> list[tuple]:
+    """Float-tolerant multiset form: NumPy aggregate reductions are
+    pairwise, so compiled+numpy totals differ from the row engine in
+    the last ulp (the same latitude the differential oracle grants)."""
+    canon = [
+        tuple(float(f"{v:.10g}") if isinstance(v, float) else v for v in row)
+        for row in rows
+    ]
+    return _sorted_rows(canon)
+
+
 def bench_query(store, plan, block_rows: int, repeat: int) -> dict:
     row_rows = list(execute(plan, RunContext(store)))
     batch_rows = list(execute_batch(plan, RunContext(store), block_rows=block_rows))
+    compiled_rows = list(
+        execute_compiled(plan, RunContext(store), block_rows=block_rows)
+    )
     if _sorted_rows(row_rows) != _sorted_rows(batch_rows):
         raise AssertionError("engines disagree on results")
+    if _canonical(row_rows) != _canonical(compiled_rows):
+        raise AssertionError("compiled engine disagrees on results")
     rows_out = len(row_rows)
-    del row_rows, batch_rows
+    del row_rows, batch_rows, compiled_rows
 
     row_s = time_engine(lambda: list(execute(plan, RunContext(store))), repeat)
     batch_s = time_engine(
         lambda: list(execute_batch(plan, RunContext(store), block_rows=block_rows)),
         repeat,
     )
+    compiled_s = time_engine(
+        lambda: list(
+            execute_compiled(plan, RunContext(store), block_rows=block_rows)
+        ),
+        repeat,
+    )
     return {
         "row_s": row_s,
         "batch_s": batch_s,
+        "compiled_s": compiled_s,
         "speedup": row_s / max(batch_s, 1e-9),
+        "speedup_compiled": row_s / max(compiled_s, 1e-9),
         "rows_out": rows_out,
         "rows_per_s_row": rows_out / max(row_s, 1e-9),
         "rows_per_s_batch": rows_out / max(batch_s, 1e-9),
+        "rows_per_s_compiled": rows_out / max(compiled_s, 1e-9),
     }
 
 
@@ -127,7 +156,9 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"  {name}: row={result['row_s']*1000:8.1f}ms "
             f"batch={result['batch_s']*1000:8.1f}ms "
-            f"speedup={result['speedup']:5.2f}x rows={result['rows_out']}",
+            f"compiled={result['compiled_s']*1000:8.1f}ms "
+            f"speedup={result['speedup']:5.2f}x/"
+            f"{result['speedup_compiled']:5.2f}x rows={result['rows_out']}",
             flush=True,
         )
 
@@ -138,20 +169,30 @@ def main(argv: list[str] | None = None) -> int:
         "block_rows": args.block_rows,
         "repeat": args.repeat,
         "python": platform.python_version(),
+        "compiled_vectors": "numpy" if numpy_enabled() else "python",
         "queries": queries,
         "geomean_speedup": geomean([q["speedup"] for q in queries.values()]),
+        "geomean_speedup_compiled": geomean(
+            [q["speedup_compiled"] for q in queries.values()]
+        ),
         "scan_heavy_queries": scan_heavy_run,
         "scan_heavy_geomean_speedup": geomean(
             [queries[n]["speedup"] for n in scan_heavy_run]
         ),
+        "scan_heavy_geomean_speedup_compiled": geomean(
+            [queries[n]["speedup_compiled"] for n in scan_heavy_run]
+        ),
         "total_row_s": sum(q["row_s"] for q in queries.values()),
         "total_batch_s": sum(q["batch_s"] for q in queries.values()),
+        "total_compiled_s": sum(q["compiled_s"] for q in queries.values()),
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
     print(
-        f"\ngeomean speedup: {report['geomean_speedup']:.2f}x "
-        f"(scan-heavy subset: {report['scan_heavy_geomean_speedup']:.2f}x over "
+        f"\ngeomean speedup: batch {report['geomean_speedup']:.2f}x, "
+        f"compiled {report['geomean_speedup_compiled']:.2f}x "
+        f"(scan-heavy subset: {report['scan_heavy_geomean_speedup']:.2f}x / "
+        f"{report['scan_heavy_geomean_speedup_compiled']:.2f}x over "
         f"{len(scan_heavy_run)} queries)"
     )
     print(f"wrote {args.out}")

@@ -1,0 +1,107 @@
+"""Gate: fail when engine speedups regress against the committed baseline.
+
+Compares a fresh ``bench_engine_ab.py`` report against the committed
+``BENCH_engine.json`` on the *speedup ratios* (geomean over the
+workload and over the scan-heavy subset, for both the batch and the
+compiled engine).  Ratios are machine-independent — both engines run
+on the same interpreter in the same process — so a drop beyond the
+tolerance means an engine change, not a slow runner::
+
+    PYTHONPATH=src python benchmarks/bench_engine_ab.py --out bench_fresh.json
+    python benchmarks/check_engine_regression.py \
+        --baseline BENCH_engine.json --current bench_fresh.json
+
+Exit status: 0 when every gated metric is within tolerance (or the
+reports are incomparable, see below), 1 on a regression.
+
+Ratios do shift across interpreter versions (the engines stress
+different bytecode paths), so when the two reports were produced by
+different ``major.minor`` Pythons the gate reports the skew and passes
+— the CI matrix pins one job to the baseline's version to keep the
+gate meaningful.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: report key -> short label; every key is gated when present in both.
+GATED = {
+    "geomean_speedup": "batch geomean",
+    "scan_heavy_geomean_speedup": "batch scan-heavy geomean",
+    "geomean_speedup_compiled": "compiled geomean",
+    "scan_heavy_geomean_speedup_compiled": "compiled scan-heavy geomean",
+}
+
+
+def _minor(version: str) -> str:
+    return ".".join(version.split(".")[:2])
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Failure messages for every gated metric below tolerance."""
+    failures = []
+    for key, label in GATED.items():
+        base = baseline.get(key)
+        cur = current.get(key)
+        if base is None or cur is None:
+            continue  # older baseline without the compiled columns
+        floor = base * (1.0 - tolerance)
+        verdict = "ok" if cur >= floor else "REGRESSION"
+        print(
+            f"  {label}: baseline {base:.2f}x -> current {cur:.2f}x "
+            f"(floor {floor:.2f}x) {verdict}"
+        )
+        if cur < floor:
+            failures.append(
+                f"{label} regressed: {cur:.2f}x < {floor:.2f}x "
+                f"(baseline {base:.2f}x, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_engine.json")
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional drop below the baseline ratio (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    base_py = _minor(baseline.get("python", ""))
+    cur_py = _minor(current.get("python", ""))
+    if base_py != cur_py:
+        print(
+            f"baseline python {base_py} != current python {cur_py}: "
+            "speedup ratios are not comparable across interpreters; skipping"
+        )
+        return 0
+    if baseline.get("scale") != current.get("scale"):
+        print(
+            f"baseline scale {baseline.get('scale')} != current scale "
+            f"{current.get('scale')}: ratios are not comparable; skipping"
+        )
+        return 0
+
+    failures = check(baseline, current, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("engine speedups within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

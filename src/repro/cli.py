@@ -50,15 +50,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("row", "batch"),
+        choices=("row", "batch", "compiled"),
         default="batch",
-        help="execution backend: vectorized 'batch' (default) or 'row'",
+        help="execution backend: vectorized 'batch' (default), 'row', or "
+        "'compiled' (fuses each scan→filter→project→aggregate pipeline "
+        "into one generated kernel; see --vectors)",
+    )
+    parser.add_argument(
+        "--vectors",
+        choices=("python", "numpy"),
+        default="numpy",
+        help="vector representation for --engine compiled: 'numpy' "
+        "(default; falls back to 'python' without NumPy) or 'python' "
+        "(bit-identical to the batch engine)",
     )
     parser.add_argument(
         "--batch-rows",
         type=int,
         default=1024,
-        help="rows per block for the batch engine (default 1024)",
+        help="rows per block for the batch and compiled engines (default 1024)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-operator/per-pipeline wall-time breakdown",
     )
     parser.add_argument(
         "--cache",
@@ -128,8 +143,8 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro fuzz",
         description="Differential fuzzing: seeded random queries checked "
-        "across {row,batch} x {fusion on,off} x {cache cold,warm} with the "
-        "plan invariant validator on.",
+        "across {row,batch,compiled-python,compiled-numpy} x {fusion on,off} "
+        "x {cache cold,warm} with the plan invariant validator on.",
     )
     parser.add_argument("--seed", type=int, default=0, help="query-generator seed")
     parser.add_argument("--count", type=int, default=200, help="queries to run")
@@ -207,6 +222,8 @@ def _print_result(result, limit: int, explain: bool) -> None:
     print(f"-- {result.metrics.summary()}")
     if result.fired_rules:
         print(f"-- rules fired: {', '.join(sorted(set(result.fired_rules)))}")
+    if result.metrics.operator_times:
+        print(result.metrics.profile_report())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -219,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
 
     engine_opts = {
         "engine": args.engine,
+        "vectors": args.vectors,
+        "profile": args.profile,
         "batch_rows": args.batch_rows,
         "enable_plan_cache": args.cache,
         "cache_budget_mb": args.cache_budget_mb,

@@ -66,6 +66,7 @@ from repro.algebra.operators import (
 )
 from repro.engine.evaluator import (
     Aggregator,
+    canon_key,
     compile_expression,
     compile_expression_batch,
 )
@@ -104,7 +105,27 @@ def execute_blocks(
 
     Like the row engine's ``execute``, each call produces a fresh
     execution; ScalarApply relies on this to re-run its subquery.
+
+    This is the engine's single recursion point: when the context
+    carries a ``block_dispatch`` override (installed by the compiled
+    engine), every operator's child fetch routes through it, so fused
+    pipeline kernels take over subtrees transparently — including
+    subtrees under operators that still run their batch implementation.
     """
+    dispatch = ctx.block_dispatch
+    if dispatch is not None:
+        return dispatch(plan, ctx, block_rows)
+    blocks = dispatch_blocks_batch(plan, ctx, block_rows)
+    profiler = ctx.profiler
+    if profiler is not None:
+        return profiler.wrap(profiler.label(plan), blocks)
+    return blocks
+
+
+def dispatch_blocks_batch(
+    plan: PlanNode, ctx: RunContext, block_rows: int
+) -> Iterator[Block]:
+    """The batch operator table (no dispatch override applied)."""
     if isinstance(plan, Scan):
         return _run_scan(plan, ctx, block_rows)
     if isinstance(plan, Values):
@@ -435,7 +456,9 @@ def _run_group_by(plan: GroupBy, ctx: RunContext, block_rows: int) -> Iterator[B
                     )
         else:
             for cols, n in execute_blocks(plan.child, ctx, block_rows):
-                key_vectors = [fn(cols, n) for fn in key_fns]
+                key_vectors = [
+                    [canon_key(v) for v in fn(cols, n)] for fn in key_fns
+                ]
                 values = [fn(cols, n) for fn in shared_fns]
                 # zip(*) builds the key tuples at C speed.
                 for i, key in enumerate(zip(*key_vectors)):

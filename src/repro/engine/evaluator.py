@@ -299,6 +299,43 @@ def compile_expression(
 BatchFn = Callable[[list, int], list]
 
 
+#: The one NaN every group key uses (see :func:`canon_key`).
+_CANON_NAN = float("nan")
+
+
+def canon_key(value):
+    """Canonicalize one group-key value: every float NaN maps to a
+    single shared NaN object, so all NaN keys land in one group.  A
+    plain Python dict would otherwise group NaNs by *object identity*
+    (``hash`` equal, ``==`` false, identity short-circuit true), which
+    is unobservable at the SQL level and impossible to reproduce once
+    values round-trip through NumPy arrays."""
+    if isinstance(value, float) and value != value:
+        return _CANON_NAN
+    return value
+
+
+def env_free(expr: Expression, columns) -> bool:
+    """True when every column reference in ``expr`` resolves inside
+    ``columns`` — i.e. a compiled closure never reads the correlation
+    env and is a pure function of ``(expr, columns)``."""
+    cids = {col.cid for col in columns}
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ColumnRef) and node.column.cid not in cids:
+            return False
+        stack.extend(node.children)
+    return True
+
+
+#: Compiled batch closures for env-free expressions, shared across
+#: executions: a prepared plan re-run under a fresh context skips the
+#: compile tree-walks entirely.  Bounded LRU, like ``_LIKE_CACHE``.
+_BATCH_MEMO: dict[tuple, "BatchFn"] = {}
+_BATCH_MEMO_MAX = 2048
+
+
 def compile_expression_batch(
     expr: Expression,
     columns: tuple[Column, ...],
@@ -312,6 +349,26 @@ def compile_expression_batch(
     block instead of a closure-tree call per row.  CASE falls back to
     row-at-a-time evaluation to preserve its lazy branch semantics.
     """
+    if type(columns) is not tuple:
+        columns = tuple(columns)
+    key = (expr, columns)
+    fn = _BATCH_MEMO.pop(key, None)
+    if fn is not None:
+        _BATCH_MEMO[key] = fn  # LRU reinsertion
+        return fn
+    fn = _compile_expression_batch(expr, columns, env)
+    if env_free(expr, columns):
+        if len(_BATCH_MEMO) >= _BATCH_MEMO_MAX:
+            del _BATCH_MEMO[next(iter(_BATCH_MEMO))]
+        _BATCH_MEMO[key] = fn
+    return fn
+
+
+def _compile_expression_batch(
+    expr: Expression,
+    columns: tuple[Column, ...],
+    env: dict[int, object] | None = None,
+) -> BatchFn:
     indexes = column_indexes(columns)
 
     def rowwise(node: Expression) -> BatchFn:

@@ -55,6 +55,7 @@ from repro.algebra.operators import (
 from repro.algebra.schema import Column
 from repro.engine.evaluator import (
     Aggregator,
+    canon_key,
     compile_expression,
     compile_expression_batch,
 )
@@ -78,6 +79,14 @@ def execute(plan: PlanNode, ctx: RunContext) -> Iterator[Row]:
     ScalarApply fallback relies on this to re-run its subquery per
     outer row.
     """
+    rows = _dispatch_row(plan, ctx)
+    profiler = ctx.profiler
+    if profiler is not None:
+        return profiler.wrap(profiler.label(plan), rows)
+    return rows
+
+
+def _dispatch_row(plan: PlanNode, ctx: RunContext) -> Iterator[Row]:
     if isinstance(plan, Scan):
         return _run_scan(plan, ctx)
     if isinstance(plan, Values):
@@ -319,6 +328,12 @@ def scan_predicate(plan: Scan, ctx: RunContext, mode: str = "row") -> Callable:
     if predicate is None:
         if mode == "row":
             predicate = compile_expression(plan.predicate, plan.columns, ctx.env)
+        elif mode == "vector":
+            from repro.engine.vectors import compile_expression_vector
+
+            predicate = compile_expression_vector(
+                plan.predicate, plan.columns, ctx.env
+            )
         else:
             predicate = compile_expression_batch(plan.predicate, plan.columns, ctx.env)
         ctx.scan_predicate_cache[key] = predicate
@@ -527,7 +542,7 @@ def _run_group_by(plan: GroupBy, ctx: RunContext) -> Iterator[Row]:
     group_count = 0
     try:
         for row in execute(plan.child, ctx):
-            key = tuple(fn(row) for fn in key_fns)
+            key = tuple(canon_key(fn(row)) for fn in key_fns)
             accumulators = groups.get(key)
             if accumulators is None:
                 accumulators = [Aggregator(f, d) for f, d, _, _ in agg_specs]

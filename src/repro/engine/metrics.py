@@ -84,6 +84,15 @@ class QueryMetrics:
     faults_injected: int = 0
     checksum_verifications: int = 0
     deadline_remaining_ms: float | None = None
+    #: Compiled-engine counters: fused pipeline kernels generated for
+    #: this query (cache hits within one execution don't recount).
+    pipelines_compiled: int = 0
+    #: Per-operator / per-pipeline cumulative wall time in seconds,
+    #: keyed by a stable display label ("Scan(store_sales) #3",
+    #: "Pipeline[Scan(item)→Filter→Project] #1").  Populated only when
+    #: profiling is enabled (``OptimizerConfig(profile=True)`` /
+    #: ``--profile``); times are inclusive of child operators.
+    operator_times: dict[str, float] = field(default_factory=dict)
     accounting: ScanAccounting = field(default_factory=ScanAccounting)
 
     @property
@@ -117,7 +126,81 @@ class QueryMetrics:
             text += f" retries={self.retries} faults={self.faults_injected}"
         if self.deadline_remaining_ms is not None:
             text += f" deadline_left={self.deadline_remaining_ms:.0f}ms"
+        if self.pipelines_compiled:
+            text += f" pipelines_compiled={self.pipelines_compiled}"
         return text
+
+    def profile_report(self) -> str:
+        """The ``--profile`` breakdown: one line per operator/pipeline,
+        slowest first.  Times are cumulative (a parent includes its
+        children), so the report attributes wall time to pipelines
+        rather than summing to the query total."""
+        if not self.operator_times:
+            return "(no profile recorded; enable profiling)"
+        width = max(len(label) for label in self.operator_times)
+        lines = ["operator wall times (cumulative, incl. children):"]
+        ordered = sorted(
+            self.operator_times.items(), key=lambda kv: kv[1], reverse=True
+        )
+        for label, seconds in ordered:
+            lines.append(f"  {label:<{width}}  {seconds * 1000:9.3f}ms")
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Per-operator wall-time recorder for one query execution.
+
+    Each engine wraps every operator's row/block iterator in
+    :meth:`wrap`; the time spent inside ``next()`` (which includes the
+    operator's whole upstream pipeline) accumulates under a stable
+    label.  Re-executions of the same node (ScalarApply re-running its
+    subquery) accumulate into the same label.
+    """
+
+    def __init__(self):
+        self.records: dict[str, float] = {}
+        self._labels: dict[int, str] = {}
+        self._sequence = 0
+
+    def label(self, plan, text: str | None = None) -> str:
+        """A stable display label for one plan node instance.  ``text``
+        overrides the default "Name(table)" form (pipelines name
+        themselves); the first call for a node wins."""
+        key = id(plan)
+        label = self._labels.get(key)
+        if label is None:
+            if text is None:
+                text = plan.name
+                table = getattr(plan, "table", None)
+                if table is not None:
+                    text = f"{text}({table})"
+            self._sequence += 1
+            label = f"{text} #{self._sequence}"
+            self._labels[key] = label
+        return label
+
+    def wrap(self, label: str, iterator):
+        """Meter an iterator's production time under ``label``."""
+        perf = time.perf_counter
+        records = self.records
+
+        def metered():
+            total = 0.0
+            it = iter(iterator)
+            try:
+                while True:
+                    start = perf()
+                    try:
+                        item = next(it)
+                    except StopIteration:
+                        total += perf() - start
+                        return
+                    total += perf() - start
+                    yield item
+            finally:
+                records[label] = records.get(label, 0.0) + total
+
+        return metered()
 
 
 class RunContext:
@@ -147,6 +230,18 @@ class RunContext:
         self.scan_predicate_cache: dict[tuple, object] = {}
         #: The session's cross-query plan cache (None when disabled).
         self.plan_cache = plan_cache
+        #: Compiled-engine hooks: when set, the batch engine's
+        #: ``execute_blocks`` routes every dispatch through this
+        #: callable (``(plan, ctx, block_rows) -> block iterator``)
+        #: instead of its own operator table — the indirection the
+        #: pipeline compiler uses to take over whole subtrees.
+        self.block_dispatch = None
+        #: Compiled pipeline kernels, keyed by ``(id(plan), mode)``
+        #: like ``scan_predicate_cache`` (plans outlive the context).
+        self.kernel_cache: dict[tuple, object] = {}
+        #: Optional :class:`Profiler`; engines wrap operator iterators
+        #: when set (``OptimizerConfig(profile=True)``).
+        self.profiler: Profiler | None = None
         #: Accounting override stack: CachePopulate pushes a tee so the
         #: subplan's scans are metered (for ``saved_bytes``) while still
         #: charging the query; ``accounting`` is a property so scans

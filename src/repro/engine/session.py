@@ -14,8 +14,10 @@ from repro.algebra.operators import PlanNode
 from repro.algebra.printer import explain
 from repro.catalog.catalog import Catalog
 from repro.engine.batch_executor import execute_batch
+from repro.engine.compiled import execute_compiled
 from repro.engine.executor import execute
 from repro.engine.metrics import (
+    Profiler,
     QueryMetrics,
     ResourceLimits,
     RunContext,
@@ -122,6 +124,8 @@ class Session:
             if self._cancel_pending:
                 self._cancel_pending = False
                 run_ctx.cancel()
+            if self.config.profile:
+                run_ctx.profiler = Profiler()
             with Stopwatch(run_ctx.metrics):
                 if self.config.engine == "batch":
                     rows = list(
@@ -129,8 +133,19 @@ class Session:
                             optimized, run_ctx, block_rows=self.config.batch_rows
                         )
                     )
+                elif self.config.engine == "compiled":
+                    rows = list(
+                        execute_compiled(
+                            optimized,
+                            run_ctx,
+                            block_rows=self.config.batch_rows,
+                            vectors=self.config.vectors,
+                        )
+                    )
                 else:
                     rows = list(execute(optimized, run_ctx))
+            if run_ctx.profiler is not None:
+                run_ctx.metrics.operator_times = dict(run_ctx.profiler.records)
             if self.store.strict_blocks == "verify":
                 # Strict mode: any operator that mutated a handed-out
                 # block vector in place corrupted stored data — fail

@@ -1,0 +1,671 @@
+"""NumPy-backed column vectors with 3VL validity masks.
+
+The compiled engine (:mod:`repro.engine.compiled`) can carry column
+data as :class:`NumpyVector` — a NumPy array plus an optional boolean
+validity mask — instead of Python lists.  The representation is hidden
+behind the block interface: a vector iterates, slices and indexes like
+the list it replaces, yielding plain Python scalars with ``None`` at
+invalid (NULL) positions, so any list-consuming operator keeps working
+unchanged.
+
+NULL semantics (mirroring :mod:`repro.engine.evaluator` exactly):
+
+* a lane is NULL iff its validity bit is False (``valid is None``
+  means all lanes valid);
+* comparisons/arithmetic are valid only where both operands are;
+* AND/OR follow Kleene logic — ``False AND NULL = False``,
+  ``True OR NULL = True`` — expressed with true/false lane masks;
+* division by zero yields NULL (the evaluator's documented
+  degradation), implemented by adding ``divisor != 0`` to validity;
+* invalid lanes always hold a benign fill value (0/False), so masked
+  arithmetic never overflows on garbage.
+
+Exactness: integer/boolean results are bit-identical to the list
+engines.  Float *accumulation order* differs (``ndarray.sum`` is
+pairwise, the row engine folds left-to-right), which is the same
+last-ulp latitude fusion already has — the differential oracle
+canonicalizes floats to 10 significant digits.
+
+``REPRO_DISABLE_NUMPY=1`` (or NumPy being absent) disables the backend
+at runtime: :func:`numpy_enabled` is re-checked on every conversion,
+so the pure-Python fallback is testable in a NumPy-equipped process.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+import zlib
+
+try:  # pragma: no cover - exercised via numpy_enabled()
+    import numpy as np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    np = None
+
+from repro.algebra.expressions import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+)
+from repro.algebra.types import DataType
+from repro.engine.evaluator import (
+    column_indexes,
+    compile_expression_batch,
+    env_free,
+)
+
+
+def numpy_enabled() -> bool:
+    """True when the NumPy backend may be used (import succeeded and
+    ``REPRO_DISABLE_NUMPY`` is unset).  Checked at call time so tests
+    and the CI fallback job can flip the environment variable without
+    re-importing."""
+    return np is not None and not os.environ.get("REPRO_DISABLE_NUMPY")
+
+
+#: Exact Python element type required per storage dtype.  Mixed-type or
+#: otherwise ineligible columns stay Python lists — round-tripping a
+#: value through the array must preserve its exact type, or engines
+#: would disagree on output rows (``3`` vs ``3.0``) and sort keys.
+_ELEMENT_TYPES = {
+    DataType.INTEGER: int,
+    DataType.DATE: int,  # DATE is an integer day number
+    DataType.DOUBLE: float,
+    DataType.BOOLEAN: bool,
+}
+
+_NP_DTYPES = {int: "int64", float: "float64", bool: "bool"}
+
+#: int64 magnitude guard: + and * fall back to listwise evaluation when
+#: operand magnitudes could overflow 63 bits (Python ints are exact).
+_INT_GUARD = 1 << 62
+
+
+class NumpyVector:
+    """One column vector: ``data`` ndarray + optional validity mask.
+
+    ``valid`` is ``None`` when every lane is valid, else a bool array
+    where False marks NULL.  Instances are immutable by the same
+    convention as list blocks; slicing returns views.
+    """
+
+    __slots__ = ("data", "valid")
+
+    def __init__(self, data, valid=None):
+        self.data = data
+        self.valid = valid
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self):
+        return iter(self.tolist())
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            valid = self.valid
+            return NumpyVector(
+                self.data[item], None if valid is None else valid[item]
+            )
+        if self.valid is not None and not self.valid[item]:
+            return None
+        return self.data[item].item()
+
+    def tolist(self) -> list:
+        out = self.data.tolist()
+        if self.valid is None:
+            return out
+        return [
+            v if ok else None for v, ok in zip(out, self.valid.tolist())
+        ]
+
+    def take(self, indexes) -> "NumpyVector":
+        valid = self.valid
+        return NumpyVector(
+            self.data[indexes], None if valid is None else valid[indexes]
+        )
+
+    def checksum(self) -> int:
+        """Content digest over the raw array buffers (C-speed; no
+        re-tupling of Python values)."""
+        crc = zlib.crc32(memoryview(np.ascontiguousarray(self.data)))
+        if self.valid is not None:
+            crc = zlib.crc32(
+                memoryview(np.ascontiguousarray(self.valid)), crc
+            )
+        return crc
+
+
+def vector_from_values(values: list, dtype: DataType) -> NumpyVector | None:
+    """Convert one column's Python values to a vector, or ``None`` when
+    the column is ineligible (strings, mixed element types, ints beyond
+    int64, or the backend disabled)."""
+    if not numpy_enabled():
+        return None
+    element = _ELEMENT_TYPES.get(dtype)
+    if element is None:
+        return None
+    has_null = False
+    for v in values:
+        if v is None:
+            has_null = True
+        elif type(v) is not element:
+            return None
+        elif element is int and not -_INT_GUARD < v < _INT_GUARD:
+            return None
+    np_dtype = _NP_DTYPES[element]
+    try:
+        if not has_null:
+            return NumpyVector(np.array(values, dtype=np_dtype))
+        data = np.array(
+            [0 if v is None else v for v in values], dtype=np_dtype
+        )
+        valid = np.array([v is not None for v in values], dtype=bool)
+        return NumpyVector(data, valid)
+    except (OverflowError, ValueError):  # pragma: no cover - guarded above
+        return None
+
+
+def delist(column):
+    """A plain Python list view of a column (no-op for lists)."""
+    if isinstance(column, NumpyVector):
+        return column.tolist()
+    return column
+
+
+# -- runtime value plumbing ----------------------------------------------
+
+
+class VConst:
+    """A per-block-constant expression value (literal or correlated
+    env reference): one scalar standing for all ``n`` lanes."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+def materialize(value, n: int):
+    """Expand a VConst into a list; pass vectors/lists through."""
+    if isinstance(value, VConst):
+        return [value.value] * n
+    return value
+
+
+def _and_valid(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a & b
+
+
+def true_mask(mask, n: int):
+    """Identity-True lanes of a boolean mask as a bool ndarray, or
+    ``None`` when the mask is not numpy-backed."""
+    if isinstance(mask, NumpyVector):
+        data = mask.data
+        if data.dtype != np.bool_:  # pragma: no cover - masks are boolean
+            data = data.astype(bool)
+        return data & mask.valid if mask.valid is not None else data
+    if isinstance(mask, VConst):
+        if mask.value is True:
+            return np.ones(n, dtype=bool)
+        return np.zeros(n, dtype=bool)
+    return None
+
+
+def _bool_lanes(value, n: int):
+    """(true_lanes, false_lanes) bool arrays for a Kleene operand, or
+    ``None`` when the operand is not numpy-representable."""
+    if isinstance(value, NumpyVector):
+        data = value.data
+        if data.dtype != np.bool_:  # pragma: no cover - masks are boolean
+            data = data.astype(bool)
+        if value.valid is None:
+            return data, ~data
+        return data & value.valid, ~data & value.valid
+    if isinstance(value, VConst):
+        ones = np.ones(n, dtype=bool)
+        zeros = np.zeros(n, dtype=bool)
+        if value.value is True:
+            return ones, zeros
+        if value.value is False:
+            return zeros, ones
+        return zeros, zeros  # NULL: neither true nor false
+    return None
+
+
+def _lanes_to_vector(true_lanes, false_lanes) -> NumpyVector:
+    decided = true_lanes | false_lanes
+    if decided.all():
+        return NumpyVector(true_lanes)
+    return NumpyVector(true_lanes, decided)
+
+
+# -- vectorized expression compiler --------------------------------------
+
+_PY_COMPARATORS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_NP_COMPARATORS = _PY_COMPARATORS  # operator.* broadcasts over ndarrays
+
+_NUMERIC_SCALARS = (bool, int, float)
+
+
+def _compare(op: str, a, b, n: int):
+    """3VL comparison over runtime operand values."""
+    fn = _PY_COMPARATORS[op]
+    if isinstance(a, VConst) and isinstance(b, VConst):
+        av, bv = a.value, b.value
+        return VConst(None if av is None or bv is None else fn(av, bv))
+    for x, y, flip in ((a, b, False), (b, a, True)):
+        if isinstance(x, NumpyVector):
+            if isinstance(y, NumpyVector):
+                data = fn(x.data, y.data) if not flip else fn(y.data, x.data)
+                return NumpyVector(data, _and_valid(x.valid, y.valid))
+            if isinstance(y, VConst):
+                k = y.value
+                if k is None:
+                    return VConst(None)
+                if isinstance(k, _NUMERIC_SCALARS):
+                    data = fn(k, x.data) if flip else fn(x.data, k)
+                    return NumpyVector(np.asarray(data), x.valid)
+                break  # str-vs-numeric comparison: listwise semantics
+            break
+    # Listwise fallback (string columns, mixed-type lanes, bool/num mix).
+    a_list = materialize(delist(a) if not isinstance(a, VConst) else a, n)
+    b_list = materialize(delist(b) if not isinstance(b, VConst) else b, n)
+    return [
+        None if x is None or y is None else fn(x, y)
+        for x, y in zip(a_list, b_list)
+    ]
+
+
+def _arith(op: str, a, b, n: int):
+    if isinstance(a, VConst) and isinstance(b, VConst):
+        av, bv = a.value, b.value
+        if av is None or bv is None or (op == "/" and bv == 0):
+            return VConst(None)
+        if op == "+":
+            return VConst(av + bv)
+        if op == "-":
+            return VConst(av - bv)
+        if op == "*":
+            return VConst(av * bv)
+        return VConst(av / bv)
+    numpyable = True
+    for x in (a, b):
+        if isinstance(x, NumpyVector):
+            continue
+        if isinstance(x, VConst) and isinstance(x.value, _NUMERIC_SCALARS):
+            continue
+        numpyable = False
+        break
+    if numpyable:
+        a_data = a.data if isinstance(a, NumpyVector) else a.value
+        b_data = b.data if isinstance(b, NumpyVector) else b.value
+        a_valid = a.valid if isinstance(a, NumpyVector) else None
+        b_valid = b.valid if isinstance(b, NumpyVector) else None
+        valid = _and_valid(a_valid, b_valid)
+        if op in ("+", "*", "-") and not _int_safe(op, a_data, b_data):
+            numpyable = False
+        elif op == "/":
+            nonzero = b_data != 0
+            if not isinstance(nonzero, np.ndarray):
+                if not nonzero:
+                    return VConst(None)  # constant zero divisor
+            elif not np.all(nonzero):
+                valid = _and_valid(valid, nonzero)
+                b_data = np.where(nonzero, b_data, 1)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return NumpyVector(np.true_divide(a_data, b_data), valid)
+        else:
+            fn = {"+": operator.add, "-": operator.sub, "*": operator.mul}[op]
+            return NumpyVector(np.asarray(fn(a_data, b_data)), valid)
+    a_list = materialize(delist(a) if not isinstance(a, VConst) else a, n)
+    b_list = materialize(delist(b) if not isinstance(b, VConst) else b, n)
+    if op == "+":
+        return [
+            None if x is None or y is None else x + y
+            for x, y in zip(a_list, b_list)
+        ]
+    if op == "-":
+        return [
+            None if x is None or y is None else x - y
+            for x, y in zip(a_list, b_list)
+        ]
+    if op == "*":
+        return [
+            None if x is None or y is None else x * y
+            for x, y in zip(a_list, b_list)
+        ]
+    return [
+        None if x is None or y is None or y == 0 else x / y
+        for x, y in zip(a_list, b_list)
+    ]
+
+
+def _int_safe(op: str, a_data, b_data) -> bool:
+    """True when an int64 +/-/* cannot overflow (floats always pass —
+    they saturate to inf exactly like Python floats)."""
+
+    def bound(x) -> float:
+        if isinstance(x, np.ndarray):
+            if x.dtype.kind != "i":
+                return 0.0
+            return float(np.abs(x).max()) if x.size else 0.0
+        if isinstance(x, bool) or not isinstance(x, int):
+            return 0.0
+        return float(abs(x))
+
+    ba, bb = bound(a_data), bound(b_data)
+    if op == "*":
+        return ba * bb < _INT_GUARD
+    return ba + bb < _INT_GUARD
+
+
+#: Compiled vector closures for env-free expressions (the same cross-
+#: execution sharing as the batch compiler's memo).
+_VECTOR_MEMO: dict[tuple, object] = {}
+_VECTOR_MEMO_MAX = 2048
+
+
+def compile_expression_vector(
+    expr: Expression,
+    columns,
+    env: dict[int, object] | None = None,
+):
+    if type(columns) is not tuple:
+        columns = tuple(columns)
+    key = (expr, columns)
+    fn = _VECTOR_MEMO.pop(key, None)
+    if fn is not None:
+        _VECTOR_MEMO[key] = fn  # LRU reinsertion
+        return fn
+    fn = _compile_expression_vector(expr, columns, env)
+    if env_free(expr, columns):
+        if len(_VECTOR_MEMO) >= _VECTOR_MEMO_MAX:
+            del _VECTOR_MEMO[next(iter(_VECTOR_MEMO))]
+        _VECTOR_MEMO[key] = fn
+    return fn
+
+
+def _compile_expression_vector(
+    expr: Expression,
+    columns,
+    env: dict[int, object] | None = None,
+):
+    """Compile ``expr`` into a ``(cols, n) -> column`` closure that
+    exploits NumPy-backed columns when present and degrades to the
+    (bit-exact) listwise semantics of
+    :func:`~repro.engine.evaluator.compile_expression_batch` otherwise.
+
+    The returned closure accepts blocks whose columns are any mix of
+    :class:`NumpyVector` and Python lists and returns a vector, a list,
+    or (internally) a :class:`VConst`; the public root is wrapped so
+    callers always receive a vector or list of length ``n``.
+    """
+    indexes = column_indexes(tuple(columns))
+
+    def fallback(node: Expression):
+        # Node kinds without a vectorized form (LIKE, CASE, scalar
+        # functions, non-literal IN, correlated refs) evaluate through
+        # the batch compiler; its closures iterate columns, which works
+        # transparently over NumpyVector (list-like iteration).
+        return compile_expression_batch(node, tuple(columns), env)
+
+    def build(node: Expression):
+        if isinstance(node, Literal):
+            value = node.value
+            return lambda cols, n: VConst(value)
+        if isinstance(node, ColumnRef):
+            index = indexes.get(node.column.cid)
+            if index is not None:
+                return lambda cols, n: cols[index]
+            return fallback(node)
+        if isinstance(node, Comparison):
+            left = build(node.left)
+            right = build(node.right)
+            op = node.op
+            return lambda cols, n: _compare(op, left(cols, n), right(cols, n), n)
+        if isinstance(node, (And, Or)):
+            terms = [build(t) for t in node.terms]
+            conj = isinstance(node, And)
+
+            def eval_bool(cols, n):
+                values = [t(cols, n) for t in terms]
+                lanes = [_bool_lanes(v, n) for v in values]
+                if all(l is not None for l in lanes):
+                    true_lanes, false_lanes = lanes[0]
+                    for t, f in lanes[1:]:
+                        if conj:
+                            true_lanes = true_lanes & t
+                            false_lanes = false_lanes | f
+                        else:
+                            true_lanes = true_lanes | t
+                            false_lanes = false_lanes & f
+                    return _lanes_to_vector(true_lanes, false_lanes)
+                # Listwise Kleene fold, mirroring the batch compiler.
+                out = _bool_list(values[0], n)
+                for value in values[1:]:
+                    nxt = _bool_list(value, n)
+                    if conj:
+                        out = [
+                            False
+                            if a is False or b is False
+                            else (None if a is None or b is None else True)
+                            for a, b in zip(out, nxt)
+                        ]
+                    else:
+                        out = [
+                            True
+                            if a is True or b is True
+                            else (None if a is None or b is None else False)
+                            for a, b in zip(out, nxt)
+                        ]
+                return out
+
+            return eval_bool
+        if isinstance(node, Not):
+            term = build(node.term)
+
+            def eval_not(cols, n):
+                value = term(cols, n)
+                lanes = _bool_lanes(value, n)
+                if lanes is not None:
+                    true_lanes, false_lanes = lanes
+                    return _lanes_to_vector(false_lanes, true_lanes)
+                return [None if v is None else not v for v in delist(value)]
+
+            return eval_not
+        if isinstance(node, Arithmetic):
+            left = build(node.left)
+            right = build(node.right)
+            op = node.op
+            return lambda cols, n: _arith(op, left(cols, n), right(cols, n), n)
+        if isinstance(node, IsNull):
+            operand = build(node.operand)
+
+            def eval_is_null(cols, n):
+                value = operand(cols, n)
+                if isinstance(value, NumpyVector):
+                    if value.valid is None:
+                        return NumpyVector(np.zeros(len(value.data), bool))
+                    return NumpyVector(~value.valid)
+                if isinstance(value, VConst):
+                    return VConst(value.value is None)
+                return [v is None for v in value]
+
+            return eval_is_null
+        if isinstance(node, InList):
+            if all(isinstance(i, Literal) for i in node.items):
+                operand = build(node.operand)
+                candidates = [i.value for i in node.items if i.value is not None]
+                miss = None if len(candidates) != len(node.items) else False
+                numeric = [
+                    c for c in candidates if isinstance(c, _NUMERIC_SCALARS)
+                ]
+
+                def eval_in(cols, n):
+                    value = operand(cols, n)
+                    if isinstance(value, NumpyVector):
+                        # Non-numeric candidates can never equal a
+                        # numeric lane, so isin over the numeric subset
+                        # matches Python `==` semantics exactly.
+                        hits = np.isin(value.data, numeric)
+                        if miss is None:
+                            # A NULL item turns every non-match NULL.
+                            return NumpyVector(
+                                hits, _and_valid(value.valid, hits)
+                            )
+                        return NumpyVector(hits, value.valid)
+                    if isinstance(value, VConst):
+                        v = value.value
+                        if v is None:
+                            return VConst(None)
+                        return VConst(True if v in candidates else miss)
+                    return [
+                        None if v is None else (True if v in candidates else miss)
+                        for v in delist(value)
+                    ]
+
+                return eval_in
+            return fallback(node)
+        return fallback(node)
+
+    root = build(expr)
+
+    def run(cols, n: int):
+        return materialize(root(cols, n), n)
+
+    return run
+
+
+def _bool_list(value, n: int) -> list:
+    """Normalize a Kleene operand to the batch compiler's three-valued
+    list form (True/False/None per lane)."""
+    if isinstance(value, VConst):
+        v = value.value
+        return [True if v is True else (None if v is None else False)] * n
+    return [
+        True if v is True else (None if v is None else False)
+        for v in delist(value)
+    ]
+
+
+# -- block helpers for kernels -------------------------------------------
+
+
+def compact_block(cols: list, n: int, mask):
+    """Keep the rows whose mask value is identity-True (the vectorized
+    counterpart of the batch engine's ``_compact``)."""
+    if isinstance(mask, NumpyVector) or (
+        isinstance(mask, list) and any(isinstance(c, NumpyVector) for c in cols)
+    ):
+        keep = true_mask(mask, n)
+        if keep is None:  # list mask over numpy columns
+            keep = np.fromiter((v is True for v in mask), dtype=bool, count=n)
+        kept = int(keep.sum())
+        if kept == n:
+            return cols, n
+        if kept == 0:
+            return [], 0
+        idx = np.flatnonzero(keep)
+        sel = None
+        out = []
+        for c in cols:
+            if isinstance(c, NumpyVector):
+                out.append(c.take(idx))
+            else:
+                if sel is None:
+                    sel = idx.tolist()
+                out.append([c[i] for i in sel])
+        return out, kept
+    sel = [i for i, v in enumerate(mask) if v is True]
+    kept = len(sel)
+    if kept == n:
+        return cols, n
+    if kept == 0:
+        return [], 0
+    return [[c[i] for i in sel] for c in cols], kept
+
+
+def accumulate_block(acc, values, mask, n: int) -> None:
+    """Feed one block into an :class:`~repro.engine.evaluator.Aggregator`.
+
+    NumPy-backed ``values`` update the accumulator's fields with array
+    reductions; anything else routes through the exact ``add_block``
+    path (so python-vectors mode stays bit-identical to the batch
+    engine).  ``values is None`` is ``count(*)``.
+    """
+    lanes = None
+    if mask is not None:
+        lanes = true_mask(mask, n)
+        if lanes is None:  # list mask
+            if isinstance(values, NumpyVector):
+                values = values.tolist()
+            acc.add_block(values, mask, n)
+            return
+    if values is None:
+        if lanes is None:
+            acc.count += n
+        else:
+            acc.count += int(lanes.sum())
+        return
+    if not isinstance(values, NumpyVector):
+        acc.add_block(values, None if lanes is None else lanes.tolist(), n)
+        return
+    data, valid = values.data, values.valid
+    keep = lanes
+    if valid is not None:
+        keep = valid if keep is None else keep & valid
+    if keep is not None:
+        data = data[keep]
+    if acc.seen is not None:
+        # DISTINCT: dedupe within the block at C speed, then feed the
+        # exact per-value path (cross-block dedupe via the seen set).
+        for v in np.unique(data).tolist():
+            acc.add(v)
+        return
+    func = acc.func
+    size = int(data.size)
+    if func == "count":
+        acc.count += size
+    elif func in ("sum", "avg"):
+        if size:
+            acc.count += size
+            acc.total += data.sum().item()
+    elif func == "min":
+        if size:
+            lo = data.min().item()
+            if acc.extreme is None or lo < acc.extreme:
+                acc.extreme = lo
+    elif func == "max":
+        if size:
+            hi = data.max().item()
+            if acc.extreme is None or hi > acc.extreme:
+                acc.extreme = hi
+    elif func == "stddev_samp":
+        if size:
+            acc.count += size
+            acc.total += data.sum().item()
+            acc.sq_total += (
+                (data.astype("float64") ** 2).sum().item()
+            )
+    else:  # pragma: no cover - Aggregator.result rejects unknown funcs
+        acc.add_block(values.tolist(), None, size)

@@ -45,11 +45,24 @@ class OptimizerConfig:
     #: Execution backend: ``"batch"`` streams ~``batch_rows``-row
     #: column blocks through vectorized operators (the default — it
     #: amortizes the interpreter's per-row overhead); ``"row"`` is the
-    #: original tuple-at-a-time streaming executor.  Both produce
-    #: identical results and scan/spool metrics (tests/test_engine_ab.py).
+    #: original tuple-at-a-time streaming executor; ``"compiled"``
+    #: fuses each scan→filter→project→(aggregate/limit) pipeline into
+    #: one generated kernel (repro.engine.compiled, DESIGN.md §11).
+    #: All three produce identical results and scan/spool metrics
+    #: (tests/test_engine_ab.py); compiled with NumPy vectors carries
+    #: the usual float summation-order latitude.
     engine: str = "batch"
-    #: Rows per block for the batch engine.
+    #: Rows per block for the batch and compiled engines.
     batch_rows: int = 1024
+    #: Vector representation for ``engine="compiled"``: ``"numpy"``
+    #: backs eligible column blocks with ndarrays + validity masks
+    #: (silently degrading to Python lists when NumPy is missing or
+    #: ``REPRO_DISABLE_NUMPY`` is set); ``"python"`` forces the pure
+    #: list kernels, which are bit-identical to the batch engine.
+    vectors: str = "numpy"
+    #: Record a per-operator/per-pipeline wall-time breakdown into
+    #: ``QueryMetrics.operator_times`` (the CLI's ``--profile``).
+    profile: bool = False
     #: Cross-query computation reuse: fingerprint subplans and replace
     #: any whose result is already in the session's plan cache with a
     #: CachedScan, populating promising subplans on first execution
@@ -105,9 +118,14 @@ class OptimizerConfig:
     lower_distinct_before_fusion: bool = False
 
     def __post_init__(self) -> None:
-        if self.engine not in ("row", "batch"):
+        if self.engine not in ("row", "batch", "compiled"):
             raise ValueError(
-                f"unknown engine {self.engine!r}: expected 'row' or 'batch'"
+                f"unknown engine {self.engine!r}: expected 'row', 'batch' "
+                "or 'compiled'"
+            )
+        if self.vectors not in ("python", "numpy"):
+            raise ValueError(
+                f"unknown vectors {self.vectors!r}: expected 'python' or 'numpy'"
             )
         if self.batch_rows <= 0:
             raise ValueError("batch_rows must be positive")

@@ -24,12 +24,17 @@ read succeeds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.algebra.types import DataType, encoded_bytes
 from repro.catalog.catalog import Catalog, TableDef
 from repro.errors import CatalogError, DataCorruptionError, TransientReadError
+
+try:  # pragma: no cover - the image bakes numpy in
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 def chunk_checksum(values: Sequence) -> int:
@@ -38,8 +43,11 @@ def chunk_checksum(values: Sequence) -> int:
     Python's tuple hash: C-speed, stable within a process (checksums
     never persist across processes), and sensitive to any single-value
     change — which is exactly the bit-flip corruption model the fault
-    injector implements.
+    injector implements.  An ndarray hashes its raw buffer directly —
+    no per-element boxing.
     """
+    if _np is not None and isinstance(values, _np.ndarray):
+        return hash(values.tobytes())
     return hash(tuple(values))
 
 
@@ -56,16 +64,34 @@ class ColumnChunk:
     #: Build-time content digest; None disables verification (chunks
     #: constructed directly in tests).
     checksum: int | None = None
+    #: Lazily-built NumPy view of ``values`` (see :meth:`vector`), its
+    #: CRC at build time, and the build state ("unbuilt" = not yet
+    #: attempted, "none" = ineligible values, "built").  Excluded from
+    #: equality/repr: caches, not content.
+    _vector: object = field(default=None, compare=False, repr=False)
+    _vector_crc: int | None = field(default=None, compare=False, repr=False)
+    _vector_state: str = field(default="unbuilt", compare=False, repr=False)
 
     @classmethod
     def build(
         cls, name: str, dtype: DataType, values: Sequence, avg_string_bytes: float | None = None
     ) -> "ColumnChunk":
         per_value = encoded_bytes(dtype, avg_string_bytes)
-        non_null = [v for v in values if v is not None]
-        min_value = min(non_null) if non_null else None
-        max_value = max(non_null) if non_null else None
-        values = list(values)
+        # Single pass: min/max without materializing a non-null copy,
+        # and no defensive re-copy when the caller hands us a fresh
+        # list (both construction paths do — build takes ownership).
+        if type(values) is not list:
+            values = list(values)
+        min_value = max_value = None
+        for v in values:
+            if v is None:
+                continue
+            if min_value is None:
+                min_value = max_value = v
+            elif v < min_value:
+                min_value = v
+            elif v > max_value:
+                max_value = v
         return cls(
             name,
             dtype,
@@ -75,6 +101,51 @@ class ColumnChunk:
             max_value,
             chunk_checksum(values),
         )
+
+    def vector(self):
+        """The chunk's NumPy-backed vector (a
+        :class:`~repro.engine.vectors.NumpyVector`), or None when the
+        values are ineligible (mixed types, strings, huge ints) or
+        NumPy is unavailable/disabled.
+
+        Built lazily on first request and cached; callers must only
+        ask *after* a verified read (``Store._read_chunk_values``), so
+        the cached arrays — and the CRC taken over them at build time —
+        are known-good.  Anything that mutates ``values`` afterwards
+        must call :meth:`invalidate_vector`.
+        """
+        from repro.engine.vectors import numpy_enabled, vector_from_values
+
+        if not numpy_enabled():
+            return None
+        if self._vector_state == "unbuilt":
+            vec = vector_from_values(self.values, self.dtype)
+            if vec is None:
+                self._vector_state = "none"
+            else:
+                self._vector = vec
+                self._vector_crc = vec.checksum()
+                self._vector_state = "built"
+        return self._vector
+
+    def invalidate_vector(self) -> None:
+        """Drop the cached vector (the stored values changed)."""
+        self._vector = None
+        self._vector_crc = None
+        self._vector_state = "unbuilt"
+
+
+def _chunk_intact(chunk: "ColumnChunk") -> bool:
+    """Per-read digest check.  A chunk with a cached vector verifies
+    via CRC over the array buffers — no per-element re-tupling — which
+    is what makes repeated scans of hot chunks cheap.  Any mutation of
+    the stored list goes through :meth:`ColumnChunk.invalidate_vector`
+    (the fault injector does), dropping back to the exact list check;
+    :meth:`Store.verify_integrity` always sweeps the lists.
+    """
+    if chunk._vector is not None and chunk._vector_crc is not None:
+        return chunk._vector.checksum() == chunk._vector_crc
+    return chunk_checksum(chunk.values) == chunk.checksum
 
 
 @dataclass
@@ -319,9 +390,18 @@ class Store:
         partition_predicate: Callable[[ColumnChunk], bool] | None = None,
         block_rows: int | None = None,
         runtime=None,
+        as_vectors: bool = False,
     ) -> Iterator[tuple[list[list], int]]:
         """Columnar fast path: yield ``(column_vectors, row_count)``
         blocks of the requested columns, charging accounting.
+
+        With ``as_vectors=True`` (the compiled engine's NumPy mode),
+        eligible columns come back as cached
+        :class:`~repro.engine.vectors.NumpyVector` chunks instead of
+        Python lists — same length, same logical values, NULLs carried
+        in a validity mask.  Ineligible columns (mixed types, strings)
+        still yield lists, and ``strict_blocks == "copy"`` disables
+        vectors entirely (copy-out mode hands out defensive copies).
 
         ``partition_predicate`` receives the *partition column's* chunk
         (with min/max) and returns False to prune the whole partition —
@@ -344,6 +424,7 @@ class Store:
         accounting.record_scan(stored.name)
         part_col = stored.definition.partition_column
         copy_out = self.strict_blocks == "copy"
+        use_vectors = as_vectors and not copy_out
         for index, part in enumerate(stored.partitions):
             if partition_predicate is not None and part_col is not None:
                 if not partition_predicate(part.chunk(part_col)):
@@ -356,6 +437,11 @@ class Store:
                 chunk = part.chunk(name)
                 values = self._read_chunk_values(stored.name, index, chunk, runtime)
                 accounting.record_chunk(stored.name, chunk.encoded_size)
+                if use_vectors:
+                    vec = chunk.vector()  # read verified just above
+                    if vec is not None:
+                        vectors.append(vec)
+                        continue
                 vectors.append(list(values) if copy_out else values)
             total = part.row_count
             if block_rows is None or total <= block_rows:
@@ -390,7 +476,7 @@ class Store:
                 if self.verify_checksums and chunk.checksum is not None:
                     if metrics is not None:
                         metrics.checksum_verifications += 1
-                    if chunk_checksum(chunk.values) != chunk.checksum:
+                    if not _chunk_intact(chunk):
                         if runtime is not None and runtime.plan_cache is not None:
                             runtime.plan_cache.invalidate_table(table)
                         raise DataCorruptionError(

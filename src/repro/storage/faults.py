@@ -162,6 +162,9 @@ class FaultInjector:
             self._corrupt_targets.discard(site)
             index = _draw(self.seed, "victim", site) % len(chunk.values)
             chunk.values[index] = bit_flip(chunk.values[index])
+            # The stored list changed under any cached NumPy view; drop
+            # it so the next verification re-checks the real values.
+            chunk.invalidate_vector()
             self.stats.corruptions += 1
             if metrics is not None:
                 metrics.faults_injected += 1

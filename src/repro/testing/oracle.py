@@ -1,18 +1,22 @@
-"""Differential oracle: one query, eight answers, zero tolerance.
+"""Differential oracle: one query, sixteen answers, zero tolerance.
 
 Each query runs across the full configuration matrix
 
-    {row, batch} engine × {fusion on, off} × {cache cold, warm replay}
+    {row, batch, compiled-python, compiled-numpy} engine
+        × {fusion on, off} × {cache cold, warm replay}
 
-— eight cells, every one with ``validate_plans=True`` so the per-rule
-plan invariant validator is armed.  The cold/warm dimension comes from
-executing the query twice in a fresh cache-enabled session: the first
-run populates the cross-query plan cache, the second replays it.
+— sixteen cells, every one with ``validate_plans=True`` so the
+per-rule plan invariant validator is armed.  The cold/warm dimension
+comes from executing the query twice in a fresh cache-enabled session:
+the first run populates the cross-query plan cache, the second replays
+it.  The two compiled cells pin both vector representations of the
+pipeline compiler (repro.engine.compiled); compiled-numpy is skipped
+when NumPy is unavailable or disabled, leaving twelve cells.
 
-A query *passes* when all eight cells produce the same row multiset
-(floats canonicalized to 10 significant digits — fusion legitimately
-reorders float accumulation) or all eight fail with the same benign
-error class (the generator occasionally produces SQL the binder
+A query *passes* when all cells produce the same row multiset (floats
+canonicalized to 10 significant digits — fusion and NumPy reductions
+legitimately reorder float accumulation) or all fail with the same
+benign error class (the generator occasionally produces SQL the binder
 rejects; that is uniform and expected).  Everything else is a
 :class:`Divergence`:
 
@@ -28,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.session import Session
+from repro.engine.vectors import numpy_enabled
 from repro.errors import BindingError, OptimizerError, ReproError, SqlSyntaxError
 from repro.optimizer.config import OptimizerConfig
 from repro.storage.columnar import Store
@@ -101,13 +106,27 @@ class DifferentialOracle:
 
     # -- one cell ----------------------------------------------------------
 
-    def _config(self, engine: str, fusion: bool) -> OptimizerConfig:
+    #: The engine axis: display label → OptimizerConfig overrides.
+    ENGINE_AXIS = (
+        ("row", {"engine": "row"}),
+        ("batch", {"engine": "batch"}),
+        ("compiled-python", {"engine": "compiled", "vectors": "python"}),
+        ("compiled-numpy", {"engine": "compiled", "vectors": "numpy"}),
+    )
+
+    def _engines(self):
+        for label, overrides in self.ENGINE_AXIS:
+            if label == "compiled-numpy" and not numpy_enabled():
+                continue  # fallback-only environment: cell is redundant
+            yield label, overrides
+
+    def _config(self, overrides: dict, fusion: bool) -> OptimizerConfig:
         return OptimizerConfig(
-            engine=engine,
             enable_fusion=fusion,
             enable_plan_cache=True,
             validate_plans=True,
             batch_rows=self.batch_rows,
+            **overrides,
         )
 
     def _run_once(self, session: Session, sql: str) -> CellOutcome:
@@ -128,11 +147,11 @@ class DifferentialOracle:
     # -- the matrix --------------------------------------------------------
 
     def run_matrix(self, sql: str) -> dict[str, CellOutcome]:
-        """All eight cells for one query."""
+        """All cells for one query (sixteen; twelve without NumPy)."""
         outcomes: dict[str, CellOutcome] = {}
-        for engine in ("row", "batch"):
+        for engine, overrides in self._engines():
             for fusion in (False, True):
-                session = Session(self.store, self._config(engine, fusion))
+                session = Session(self.store, self._config(overrides, fusion))
                 label = f"{engine}/{'fusion' if fusion else 'baseline'}"
                 outcomes[f"{label}/cold"] = self._run_once(session, sql)
                 outcomes[f"{label}/warm"] = self._run_once(session, sql)

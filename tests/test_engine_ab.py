@@ -1,19 +1,29 @@
-"""Differential tests: row vs. batch execution engine.
+"""Differential tests: row vs. batch vs. compiled execution engines.
 
 Every workload query (and the paper-example SQL) must produce the same
-result multiset and byte-identical scan/spool metrics under both
-engines — the batch engine is a pure execution-speed change, invisible
-to everything the paper measures except wall time.
+result multiset and byte-identical scan/spool metrics under every
+engine — batch and compiled execution are pure execution-speed
+changes, invisible to everything the paper measures except wall time.
+
+The compiled engine's pure-Python vector backend must match the row
+engine byte-for-byte.  The NumPy backend is granted float latitude
+(``canonical_rows``, 10 significant digits): array reductions are
+pairwise, so Sum/Avg/Stddev over floats differ from sequential
+accumulation in the last ulp.  Integer results stay exact either way.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.algebra.types import DataType
 from repro.engine.session import Session
+from repro.engine.vectors import numpy_enabled
 from repro.optimizer.config import OptimizerConfig
+from repro.testing.oracle import canonical_rows
 from repro.tpcds.queries import STUDIED_QUERIES, WORKLOAD_QUERIES
 from tests import test_paper_examples as paper
+from tests.conftest import simple_table
 
 #: Metrics that must match exactly between the engines.
 EQUAL_METRICS = (
@@ -43,6 +53,20 @@ def batch_session(tpcds_store) -> Session:
     return Session(tpcds_store, OptimizerConfig(engine="batch"))
 
 
+@pytest.fixture(scope="module")
+def compiled_py_session(tpcds_store) -> Session:
+    return Session(
+        tpcds_store, OptimizerConfig(engine="compiled", vectors="python")
+    )
+
+
+@pytest.fixture(scope="module")
+def compiled_np_session(tpcds_store) -> Session:
+    return Session(
+        tpcds_store, OptimizerConfig(engine="compiled", vectors="numpy")
+    )
+
+
 def assert_engines_agree(row_session: Session, batch_session: Session, sql: str):
     row_result = row_session.execute(sql)
     batch_result = batch_session.execute(sql)
@@ -54,9 +78,55 @@ def assert_engines_agree(row_session: Session, batch_session: Session, sql: str)
     return row_result, batch_result
 
 
+def assert_compiled_agrees(
+    row_session: Session, compiled_session: Session, sql: str, exact: bool = True
+):
+    """Differential check against the compiled engine.  ``exact=False``
+    compares via ``canonical_rows`` (the NumPy float latitude); metrics
+    must match exactly either way."""
+    row_result = row_session.execute(sql)
+    compiled_result = compiled_session.execute(sql)
+    if exact:
+        assert row_result.sorted_rows() == compiled_result.sorted_rows()
+    else:
+        assert canonical_rows(row_result.rows) == canonical_rows(
+            compiled_result.rows
+        )
+    for metric in EQUAL_METRICS:
+        assert getattr(row_result.metrics, metric) == getattr(
+            compiled_result.metrics, metric
+        ), f"{metric} diverged between row and compiled engines"
+    return row_result, compiled_result
+
+
 @pytest.mark.parametrize("name", sorted(WORKLOAD_QUERIES))
 def test_workload_query_identical(name, row_session, batch_session):
     assert_engines_agree(row_session, batch_session, WORKLOAD_QUERIES[name])
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_QUERIES))
+def test_workload_query_compiled_python_identical(
+    name, row_session, compiled_py_session
+):
+    """The pure-Python compiled backend is held to byte-identical rows:
+    it evaluates the same scalar arithmetic in the same order as the
+    row engine, just through fused per-pipeline kernels."""
+    assert_compiled_agrees(
+        row_session, compiled_py_session, WORKLOAD_QUERIES[name], exact=True
+    )
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOAD_QUERIES))
+def test_workload_query_compiled_numpy_agrees(
+    name, row_session, compiled_np_session
+):
+    """The NumPy backend gets canonical-rows float latitude (pairwise
+    reductions) but must still match every scan/spool metric exactly.
+    Falls back to the pure-Python vectors when NumPy is unavailable,
+    in which case this still checks the fallback path end to end."""
+    assert_compiled_agrees(
+        row_session, compiled_np_session, WORKLOAD_QUERIES[name], exact=False
+    )
 
 
 @pytest.mark.parametrize("name", sorted(PAPER_EXAMPLES))
@@ -94,6 +164,119 @@ def test_tiny_block_size_still_identical(tpcds_store):
     tiny_s = Session(tpcds_store, OptimizerConfig(engine="batch", batch_rows=3))
     for name in ("q01", "q09", "q23", "q28", "q65", "q95"):
         assert_engines_agree(row_s, tiny_s, STUDIED_QUERIES[name])
+
+
+@pytest.mark.parametrize("vectors", ["python", "numpy"])
+def test_compiled_without_fusion_identical(vectors, tpcds_store):
+    """Unfused (baseline) plans pipeline differently — duplicated
+    scans, join-backs — so diff the compiled engine on those shapes
+    too, on the scan-heavy studied queries."""
+    row_s = Session(tpcds_store, OptimizerConfig(enable_fusion=False, engine="row"))
+    compiled_s = Session(
+        tpcds_store,
+        OptimizerConfig(enable_fusion=False, engine="compiled", vectors=vectors),
+    )
+    for name in ("q09", "q28", "q88", "q65"):
+        assert_compiled_agrees(
+            row_s, compiled_s, STUDIED_QUERIES[name], exact=(vectors == "python")
+        )
+
+
+@pytest.mark.parametrize("vectors", ["python", "numpy"])
+def test_tiny_block_compiled_still_identical(vectors, tpcds_store):
+    """Kernel loop boundaries must be invisible too: 3-row blocks
+    through the fused kernels match the row engine."""
+    row_s = Session(tpcds_store, OptimizerConfig(engine="row"))
+    tiny_s = Session(
+        tpcds_store,
+        OptimizerConfig(engine="compiled", vectors=vectors, batch_rows=3),
+    )
+    for name in ("q01", "q09", "q28", "q65"):
+        assert_compiled_agrees(
+            row_s, tiny_s, STUDIED_QUERIES[name], exact=(vectors == "python")
+        )
+
+
+def _null_salted_store():
+    """A store whose group keys, filter columns, and aggregate inputs
+    all contain NULLs — the axis where vectorized masks diverge first."""
+    from repro.storage.columnar import Store
+
+    rows = []
+    for i in range(600):  # above the vectorized-GroupBy row gate
+        key = None if i % 11 == 0 else i % 7
+        cat = None if i % 13 == 0 else ("ab", "cd", None, "ef")[i % 4]
+        qty = None if i % 5 == 0 else i % 97
+        price = None if i % 17 == 0 else round((i * 37 % 1000) / 4.0, 2)
+        rows.append((i, key, cat, qty, price))
+    store = Store()
+    store.put(
+        simple_table(
+            "sales",
+            [
+                ("id", DataType.INTEGER),
+                ("grp", DataType.INTEGER),
+                ("cat", DataType.STRING),
+                ("qty", DataType.INTEGER),
+                ("price", DataType.DOUBLE),
+            ],
+            rows,
+            primary_key=("id",),
+        )
+    )
+    return store
+
+
+NULL_SALTED_QUERIES = {
+    "keyed_int": (
+        "SELECT s.grp, count(*), sum(s.qty), count(DISTINCT s.qty) "
+        "FROM sales s GROUP BY s.grp",
+        True,
+    ),
+    "keyed_string": (
+        "SELECT s.cat, min(s.qty), max(s.qty) FROM sales s GROUP BY s.cat",
+        True,
+    ),
+    "multi_key": (
+        "SELECT s.grp, s.cat, count(s.qty) FROM sales s GROUP BY s.grp, s.cat",
+        True,
+    ),
+    "float_aggs": (
+        "SELECT s.grp, avg(s.price), sum(s.price) FROM sales s GROUP BY s.grp",
+        False,
+    ),
+    "filtered": (
+        "SELECT s.grp, count(*) FROM sales s "
+        "WHERE s.qty > 10 AND s.cat <> 'cd' GROUP BY s.grp",
+        True,
+    ),
+    "scalar_agg": (
+        "SELECT count(*), count(s.qty), sum(s.qty), min(s.grp) FROM sales s",
+        True,
+    ),
+    "limit_after_group": (
+        "SELECT s.grp, count(*) FROM sales s GROUP BY s.grp LIMIT 3",
+        True,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(NULL_SALTED_QUERIES))
+@pytest.mark.parametrize("vectors", ["python", "numpy"])
+def test_null_salted_compiled_agrees(name, vectors):
+    """NULL-heavy grouping/filtering/aggregation: the compiled engine
+    (both vector backends) must match the row engine, including NULL
+    group slots, first-seen group order under LIMIT, and NULL-skipping
+    aggregate semantics.  Integer aggregates are held exact even under
+    NumPy."""
+    store = _null_salted_store()
+    sql, int_exact = NULL_SALTED_QUERIES[name]
+    row_s = Session(store, OptimizerConfig(engine="row"))
+    compiled_s = Session(
+        store, OptimizerConfig(engine="compiled", vectors=vectors)
+    )
+    exact = int_exact or vectors == "python"
+    assert_compiled_agrees(row_s, compiled_s, sql, exact=exact)
 
 
 def test_engine_knob_validated():

@@ -197,7 +197,7 @@ def _fresh_people_session(engine="batch", **config):
     return Session(store, OptimizerConfig(engine=engine, **config))
 
 
-@pytest.mark.parametrize("engine", ["row", "batch"])
+@pytest.mark.parametrize("engine", ["row", "batch", "compiled"])
 def test_chaos_run_matches_clean_run(engine):
     clean = _fresh_people_session(engine).execute(_ORDERS_SQL)
     chaos_session = _fresh_people_session(
@@ -215,7 +215,7 @@ def test_chaos_run_matches_clean_run(engine):
     assert chaos_session.store.fault_injector.stats.transient_faults > 0
 
 
-@pytest.mark.parametrize("engine", ["row", "batch"])
+@pytest.mark.parametrize("engine", ["row", "batch", "compiled"])
 def test_retries_disabled_surfaces_structured_error(engine):
     session = _fresh_people_session(engine, fault_rate=1.0, max_retries=0)
     with pytest.raises(TransientReadError, match="--retries"):
@@ -251,7 +251,7 @@ def test_checksum_verification_can_be_disabled():
     assert result.metrics.checksum_verifications == 0
 
 
-@pytest.mark.parametrize("engine", ["row", "batch"])
+@pytest.mark.parametrize("engine", ["row", "batch", "compiled"])
 def test_corruption_detected_evicts_cache_and_reload_recovers(engine):
     session = _fresh_people_session(engine, enable_plan_cache=True)
     store = session.store
@@ -298,7 +298,7 @@ def test_corruption_detected_evicts_cache_and_reload_recovers(engine):
     assert session.execute(_ORDERS_SQL).sorted_rows() == first.sorted_rows()
 
 
-@pytest.mark.parametrize("engine", ["row", "batch"])
+@pytest.mark.parametrize("engine", ["row", "batch", "compiled"])
 def test_cache_entry_corruption_detected_on_replay(engine):
     session = _fresh_people_session(engine, enable_plan_cache=True)
     session.execute(_ORDERS_SQL)
@@ -330,7 +330,7 @@ def test_cache_entry_corruption_detected_on_replay(engine):
 # -- deadlines and cancellation ---------------------------------------------
 
 
-@pytest.mark.parametrize("engine", ["row", "batch"])
+@pytest.mark.parametrize("engine", ["row", "batch", "compiled"])
 def test_timeout_zero_fails_at_first_block_boundary(engine):
     session = _fresh_people_session(engine, timeout_ms=0)
     with pytest.raises(QueryTimeoutError, match="--timeout-ms"):
@@ -357,7 +357,7 @@ def test_run_context_deadline_with_fake_clock():
         ctx.checkpoint()
 
 
-@pytest.mark.parametrize("engine", ["row", "batch"])
+@pytest.mark.parametrize("engine", ["row", "batch", "compiled"])
 def test_session_cancel_arms_next_query(engine):
     session = _fresh_people_session(engine)
     session.cancel()
@@ -378,7 +378,7 @@ def test_run_context_cancel_checkpoint():
 # -- resource budgets -------------------------------------------------------
 
 
-@pytest.mark.parametrize("engine", ["row", "batch"])
+@pytest.mark.parametrize("engine", ["row", "batch", "compiled"])
 def test_max_state_rows_bounds_operator_state(engine):
     session = _fresh_people_session(engine, max_state_rows=2)
     with pytest.raises(ResourceExhaustedError, match="max_state_rows"):
@@ -389,7 +389,7 @@ def test_max_state_rows_bounds_operator_state(engine):
     ).rows
 
 
-@pytest.mark.parametrize("engine", ["row", "batch"])
+@pytest.mark.parametrize("engine", ["row", "batch", "compiled"])
 def test_max_spool_rows_bounds_materialization(tpcds_store, engine):
     from repro.tpcds.queries import STUDIED_QUERIES
 
@@ -532,7 +532,7 @@ def tiny_store_pair():
     return generate_dataset(scale=0.02, seed=7), generate_dataset(scale=0.02, seed=7)
 
 
-@pytest.mark.parametrize("engine", ["row", "batch"])
+@pytest.mark.parametrize("engine", ["row", "batch", "compiled"])
 def test_workload_subset_identical_under_chaos(tiny_store_pair, engine):
     clean_store, chaos_store = tiny_store_pair
     clean = Session(clean_store, OptimizerConfig(engine=engine))

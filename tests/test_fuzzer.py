@@ -108,12 +108,17 @@ class TestOracle:
         assert oracle.check("SELEKT 1") is None
         assert oracle.last_status == "benign"
 
-    def test_matrix_has_eight_cells(self, small_store):
+    def test_matrix_covers_every_engine_cell(self, small_store):
+        from repro.engine.vectors import numpy_enabled
+
         oracle = DifferentialOracle(small_store)
         outcomes = oracle.run_matrix("SELECT count(*) AS n FROM item")
-        assert len(outcomes) == 8
+        assert len(outcomes) == (16 if numpy_enabled() else 12)
         assert "row/baseline/cold" in outcomes
         assert "batch/fusion/warm" in outcomes
+        assert "compiled-python/fusion/cold" in outcomes
+        if numpy_enabled():
+            assert "compiled-numpy/baseline/warm" in outcomes
 
 
 @pytest.fixture()
