@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Repo-specific structural lint (stdlib only; CI `static-analysis`).
+
+Checks conventions a generic linter cannot know:
+
+* every ``_fuse_<op>`` handler defined on :class:`repro.fusion.fuse.
+  Fuser` is registered in ``Fuser._HANDLERS`` (a handler written but
+  never wired silently falls back to structural fusion);
+* every concrete optimizer pass/rewrite rule overrides the default
+  ``name`` — blame messages ("rule 'pass' produced …") are useless
+  with the base-class placeholder;
+* no bare ``except:`` anywhere under ``src/`` (they swallow
+  ``KeyboardInterrupt``/``SystemExit``; the engine's error taxonomy
+  depends on typed handlers);
+* no ``exec``/``eval`` calls outside the audited kernel compiler
+  (``repro/engine/compiled.py``) — generated code must flow through
+  the kernel auditor, not around it.
+
+Exit status is the number of violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+#: The only module allowed to call exec()/eval() (the kernel compiler;
+#: every kernel it execs is statically audited by kernel_audit).
+EXEC_ALLOWED = {Path("repro/engine/compiled.py")}
+
+
+def lint_fuser_handlers() -> list[str]:
+    from repro.fusion.fuse import Fuser
+
+    problems = []
+    registered = set(Fuser._HANDLERS.values())
+    for name, member in inspect.getmembers(Fuser, inspect.isfunction):
+        if not name.startswith("_fuse_") or name == "_fuse_structural":
+            continue
+        if member not in registered:
+            problems.append(
+                f"Fuser.{name} is defined but not registered in "
+                f"Fuser._HANDLERS (it will never dispatch)"
+            )
+    return problems
+
+
+def lint_pass_names() -> list[str]:
+    import repro.optimizer.pipeline  # noqa: F401 - registers the passes
+    import repro.optimizer.rewrites  # noqa: F401
+    from repro.optimizer.rule import PlanPass, RewriteRule
+
+    problems = []
+    stack = [PlanPass]
+    seen = set()
+    while stack:
+        cls = stack.pop()
+        for sub in cls.__subclasses__():
+            if sub in seen:
+                continue
+            seen.add(sub)
+            stack.append(sub)
+            if inspect.isabstract(sub):
+                continue
+            if sub.name in (PlanPass.name, RewriteRule.name):
+                problems.append(
+                    f"{sub.__module__}.{sub.__qualname__} does not override "
+                    f"the default pass name {sub.name!r}; rule blame "
+                    f"messages would be anonymous"
+                )
+    return problems
+
+
+def lint_source_trees() -> list[str]:
+    problems = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC)
+        tree = ast.parse(path.read_text(), filename=str(rel))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                problems.append(f"{rel}:{node.lineno}: bare 'except:'")
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("exec", "eval")
+                and rel not in EXEC_ALLOWED
+            ):
+                problems.append(
+                    f"{rel}:{node.lineno}: {node.func.id}() outside the "
+                    f"audited kernel compiler"
+                )
+    return problems
+
+
+def main() -> int:
+    problems = lint_fuser_handlers() + lint_pass_names() + lint_source_trees()
+    for problem in problems:
+        print(f"LINT: {problem}")
+    if not problems:
+        print("repo lint: ok")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

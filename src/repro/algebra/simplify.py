@@ -27,6 +27,7 @@ from repro.algebra.expressions import (
     Expression,
     InList,
     IsNull,
+    Like,
     Literal,
     Not,
     Or,
@@ -323,3 +324,42 @@ def implied_by(candidate: Expression, context: Iterable[Expression]) -> bool:
 
     have = {normalize(c) for c in context}
     return all(normalize(c) in have for c in conjuncts(candidate))
+
+
+def simplify_with_facts(expr: Expression, env: dict) -> Expression:
+    """Simplify ``expr`` using derived column facts (``env`` maps
+    column id -> :class:`~repro.algebra.analysis.ColumnFacts`).
+
+    Any boolean subexpression whose abstract evaluation admits a single
+    Kleene outcome is replaced by that literal (TRUE / FALSE / NULL) —
+    full 3VL-preserving, so the result is valid in any context, not
+    just filters.  Falls back to the fact-free :func:`simplify`.
+    """
+    from repro.algebra.analysis import bool_range
+    from repro.algebra.expressions import NULL
+    from repro.algebra.types import DataType
+
+    def fold(node: Expression) -> Expression:
+        is_bool = isinstance(node, (Comparison, InList, IsNull, Like, Not, And, Or)) or (
+            isinstance(node, ColumnRef) and node.dtype is DataType.BOOLEAN
+        )
+        if is_bool:
+            verdict = bool_range(node, env)
+            outcomes = int(verdict.may_true) + int(verdict.may_false) + int(
+                verdict.may_null
+            )
+            if outcomes <= 1:
+                if verdict.may_true:
+                    return TRUE
+                if verdict.may_false:
+                    return FALSE
+                return NULL
+        children = node.children
+        if not children:
+            return node
+        folded = tuple(fold(child) for child in children)
+        if all(new is old for new, old in zip(folded, children)):
+            return node
+        return node.with_children(folded)
+
+    return simplify(fold(expr))

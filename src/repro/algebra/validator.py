@@ -26,7 +26,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.algebra.expressions import Expression, columns_in
+from repro.algebra.expressions import (
+    Arithmetic,
+    Comparison,
+    Expression,
+    InList,
+    columns_in,
+)
 from repro.algebra.operators import (
     AGGREGATE_FUNCTIONS,
     CachePopulate,
@@ -75,6 +81,62 @@ def _check_boolean(expr: Expression, node: PlanNode, what: str) -> None:
         raise PlanError(
             f"{node.name}: {what} {expr!r} has type {dtype.value}, expected boolean"
         )
+    _check_operand_types(expr, node, what)
+
+
+def _check_operand_types(expr: Expression, node: PlanNode, what: str) -> None:
+    """Reject comparisons/arithmetic over incompatible operand types.
+
+    Structural validation alone lets e.g. ``INTEGER = STRING`` through
+    (both operands resolve, the comparison's dtype is boolean), but the
+    vector backend then raises at runtime when NumPy refuses the mixed
+    compare.  Surfacing it here turns a backend crash into a
+    plan-validation error that blames the offending rule.
+
+    A NULL literal is a type wildcard: the binder types bare ``NULL``
+    as boolean, but ``x = NULL`` / ``x IN (…, NULL)`` are legal (and
+    evaluate to NULL) at any operand type.
+    """
+
+    def wildcard(operand: Expression) -> bool:
+        from repro.algebra.expressions import Literal
+
+        return isinstance(operand, Literal) and operand.value is None
+
+    if isinstance(expr, Comparison):
+        if not wildcard(expr.left) and not wildcard(expr.right):
+            left = _dtype(expr.left, node, f"{what}: comparison operand")
+            right = _dtype(expr.right, node, f"{what}: comparison operand")
+            if not _compatible(left, right):
+                raise PlanError(
+                    f"{node.name}: {what} compares {expr.left!r} "
+                    f"({left.value}) with {expr.right!r} ({right.value})"
+                )
+    elif isinstance(expr, InList):
+        if not wildcard(expr.operand):
+            operand = _dtype(expr.operand, node, f"{what}: IN operand")
+            for item in expr.items:
+                if wildcard(item):
+                    continue
+                item_type = _dtype(item, node, f"{what}: IN list item")
+                if not _compatible(operand, item_type):
+                    raise PlanError(
+                        f"{node.name}: {what} tests {expr.operand!r} "
+                        f"({operand.value}) against IN item {item!r} "
+                        f"({item_type.value})"
+                    )
+    elif isinstance(expr, Arithmetic):
+        for operand in (expr.left, expr.right):
+            if wildcard(operand):
+                continue
+            operand_type = _dtype(operand, node, f"{what}: arithmetic operand")
+            if not operand_type.is_numeric:
+                raise PlanError(
+                    f"{node.name}: {what} applies {expr.op!r} to "
+                    f"{operand!r} of non-numeric type {operand_type.value}"
+                )
+    for child in expr.children:
+        _check_operand_types(child, node, what)
 
 
 def _check_refs(node: PlanNode, available: set[Column]) -> None:
@@ -135,6 +197,7 @@ def _check_group_by(node: GroupBy) -> None:
         seen_targets.add(agg.target.cid)
         if agg.argument is not None:
             arg_type = _dtype(agg.argument, node, f"argument of {agg.target!r}")
+            _check_operand_types(agg.argument, node, f"argument of {agg.target!r}")
             if agg.func in ("sum", "avg", "stddev_samp") and not arg_type.is_numeric:
                 raise PlanError(
                     f"GroupBy: {agg.func} argument {agg.argument!r} has "
@@ -212,6 +275,7 @@ def validate_plan(plan: PlanNode, catalog: "Catalog | None" = None) -> None:
                         f"{target.dtype.value} but expression {expr!r} has "
                         f"type {expr_type.value}"
                     )
+                _check_operand_types(expr, node, f"assignment to {target!r}")
         elif isinstance(node, Join):
             if node.kind is not JoinKind.CROSS:
                 _check_boolean(node.condition, node, "join condition")

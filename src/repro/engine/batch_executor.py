@@ -535,7 +535,7 @@ def _run_mark_distinct(
                     if mask_fn is not None and mask_fn(extended) is not True:
                         extended.append(False)
                         continue
-                    key = tuple(extended[i] for i in indexes)
+                    key = tuple(canon_key(extended[i]) for i in indexes)
                     if key in seen:
                         extended.append(False)
                     else:

@@ -77,6 +77,7 @@ from repro.engine.executor import (
     _split_join_condition,
     scan_predicate,
 )
+from repro.engine.kernel_audit import audit_consts, audit_kernel
 from repro.engine.metrics import RunContext
 from repro.engine.vectors import (
     NumpyVector,
@@ -462,10 +463,18 @@ def _build_kernel(pipeline: _Pipeline, ctx, block_rows: int, mode: str):
         "_acc": accumulate_block,
         "_emit": _emit_aggs,
     }
+    consts = tuple(consts)
+    if getattr(ctx, "audit_kernels", False):
+        # Static contract verification before the kernel ever runs
+        # (repro.engine.kernel_audit; armed via validate_plans).
+        audit_kernel(source_text, len(consts))
+        if cacheable:
+            audit_consts(consts, ctx)
+        ctx.metrics.kernels_audited += 1
     exec(_kernel_code(source_text), namespace)  # noqa: S102 - synthesized
     kernel_fn = namespace["_kernel"]
     make_source = _source_factory(source_plan, ctx, block_rows, mode)
-    return (kernel_fn, tuple(consts), make_source), cacheable
+    return (kernel_fn, consts, make_source), cacheable
 
 
 def _source_factory(source_plan, ctx, block_rows: int, mode: str):
@@ -892,13 +901,22 @@ def _compute_marker(out_cols, total: int, indexes, mask_vec):
             valid_lanes = eligible & valid
             none_lanes = eligible & ~valid
         marker = np.zeros(total, dtype=bool)
+        added = 0
+        if key_col.data.dtype.kind == "f":
+            # canon_key semantics: every NaN is the same distinct key,
+            # so its first eligible lane wins.  np.unique's NaN handling
+            # differs from the seen-set engines, so peel NaN lanes off
+            # before deduplicating the rest.
+            nan_lanes = valid_lanes & np.isnan(key_col.data)
+            if nan_lanes.any():
+                marker[int(np.argmax(nan_lanes))] = True
+                added += 1
+                valid_lanes = valid_lanes & ~nan_lanes
         sub = np.flatnonzero(valid_lanes)
         if sub.size:
             _, first = np.unique(key_col.data[sub], return_index=True)
             marker[sub[first]] = True
-            added = int(first.size)
-        else:
-            added = 0
+            added += int(first.size)
         if none_lanes is not None and none_lanes.any():
             # NULL is one distinct key; its first eligible lane wins.
             marker[int(np.argmax(none_lanes))] = True
@@ -913,7 +931,7 @@ def _compute_marker(out_cols, total: int, indexes, mask_vec):
     for i in range(total):
         if elig_list is not None and not elig_list[i]:
             continue
-        key = tuple(kl[i] for kl in key_lists)
+        key = tuple(canon_key(kl[i]) for kl in key_lists)
         if key not in seen:
             seen.add(key)
             marker_list[i] = True

@@ -599,17 +599,24 @@ class Aggregator:
         func = self.func
         if func == "count" and value is not None:
             if self.seen is not None:
-                if value in self.seen:
+                # DISTINCT dedup uses canon_key semantics: a raw
+                # seen-set would dedup NaN by object identity (hash
+                # equal, == false, identity short-circuit true), which
+                # diverges between engines once values round-trip
+                # through NumPy arrays.
+                probe = canon_key(value)
+                if probe in self.seen:
                     return
-                self.seen.add(value)
+                self.seen.add(probe)
             self.count += 1
             return
         if value is None:
             return
         if self.seen is not None:
-            if value in self.seen:
+            probe = canon_key(value)
+            if probe in self.seen:
                 return
-            self.seen.add(value)
+            self.seen.add(probe)
         if func in ("sum", "avg"):
             self.count += 1
             self.total += value

@@ -608,7 +608,7 @@ def _run_mark_distinct(plan: MarkDistinct, ctx: RunContext) -> Iterator[Row]:
                 if mask_fn is not None and mask_fn(extended) is not True:
                     extended.append(False)
                     continue
-                key = tuple(extended[i] for i in indexes)
+                key = tuple(canon_key(extended[i]) for i in indexes)
                 if key in seen:
                     extended.append(False)
                 else:

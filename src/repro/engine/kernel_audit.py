@@ -1,0 +1,304 @@
+"""Static auditor for synthesized pipeline kernels.
+
+The compiled engine (:mod:`repro.engine.compiled`, DESIGN.md §11)
+generates kernel source with string templates and runs it through
+``compile()``/``exec``.  The generator is supposed to confine kernels
+to a tiny, closed contract; this module *verifies* that contract by
+parsing every kernel with :mod:`ast` before it runs — closing the
+trust gap between "the templates look right" and "the emitted code is
+right", and catching template regressions (an unguarded filter stage,
+a leaked name, an out-of-range const slot) at the moment of synthesis
+with a precise message instead of as a downstream wrong answer.
+
+The audited contract (see DESIGN.md §12):
+
+* the module defines exactly one function, ``_kernel(source, C, ctx)``
+  — no other top-level statements, no defaults/varargs;
+* only whitelisted statement forms appear (straight-line assignments,
+  ``for``/``if``/``try``-``finally``, ``yield``, ``break``/
+  ``continue``/``pass``) — no imports, nested functions, lambdas,
+  classes, ``global``/``nonlocal``, ``with``, ``while``, or deletes;
+* every loaded name is a parameter, a locally assigned variable, or
+  one of the three runtime helpers (``_compact``, ``_acc``,
+  ``_emit``); notably **no builtins** and no ``eval``/``exec``/
+  ``__import__`` can even be named;
+* attribute access is restricted to ``ctx.state_add`` /
+  ``ctx.state_remove`` in call position — no attribute escapes
+  (``ctx.store``, dunder traversal) are possible;
+* every subscript of the consts tuple ``C`` is a literal ``int``
+  within range — kernels cannot index consts dynamically;
+* every filter/predicate stage (``cols, n = _compact(...)``) is
+  immediately followed by the ``if not n: continue`` guard, so no
+  downstream stage ever consumes an unmasked or stale lane count;
+* state accounting pairs up: a kernel that calls ``ctx.state_add``
+  must release in its ``finally`` via ``ctx.state_remove``;
+* kernels cached cross-context (``_KERNEL_CACHE``) must be genuinely
+  closure-free of the current execution: no const closure may capture
+  the :class:`RunContext` or its correlation env
+  (:func:`audit_consts`), which is what makes sharing them sound.
+
+Armed on every compile when ``OptimizerConfig(validate_plans=True)``
+(so the differential fuzzer audits every kernel it executes) and
+runnable standalone over the 32-query workload via
+``repro audit-kernels``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.errors import KernelAuditError
+
+#: The only global names a kernel may load.
+ALLOWED_GLOBALS = frozenset({"_compact", "_acc", "_emit"})
+
+#: The exact parameter list of every kernel.
+KERNEL_PARAMS = ("source", "C", "ctx")
+
+#: Attributes a kernel may access, all on ``ctx`` and only to call.
+ALLOWED_CTX_ATTRS = frozenset({"state_add", "state_remove"})
+
+_ALLOWED_STATEMENTS = (
+    ast.Assign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.For,
+    ast.If,
+    ast.Try,
+    ast.Break,
+    ast.Continue,
+    ast.Pass,
+)
+
+_FORBIDDEN_EXPRESSIONS = (
+    ast.Lambda,
+    ast.Await,
+    ast.NamedExpr,
+    ast.Starred,
+    ast.FormattedValue,
+    ast.JoinedStr,
+    ast.GeneratorExp,
+    ast.DictComp,
+    ast.SetComp,
+)
+
+
+def _fail(message: str) -> None:
+    raise KernelAuditError(f"kernel audit: {message}")
+
+
+def audit_kernel(source_text: str, n_consts: int) -> None:
+    """Statically verify one synthesized kernel's source.
+
+    Raises :class:`~repro.errors.KernelAuditError` naming the first
+    violated clause; returns None when the kernel satisfies the whole
+    contract.
+    """
+    try:
+        module = ast.parse(source_text)
+    except SyntaxError as exc:  # pragma: no cover - compile() runs first
+        _fail(f"synthesized source does not parse: {exc}")
+
+    if len(module.body) != 1 or not isinstance(module.body[0], ast.FunctionDef):
+        _fail("module must contain exactly one function definition")
+    fn = module.body[0]
+    if fn.name != "_kernel":
+        _fail(f"kernel function is named {fn.name!r}, expected '_kernel'")
+    args = fn.args
+    if (
+        tuple(a.arg for a in args.args) != KERNEL_PARAMS
+        or args.posonlyargs
+        or args.kwonlyargs
+        or args.vararg
+        or args.kwarg
+        or args.defaults
+        or args.kw_defaults
+    ):
+        _fail(
+            "kernel signature must be exactly _kernel(source, C, ctx) "
+            "with no defaults or var-args"
+        )
+    if fn.decorator_list:
+        _fail("kernel must not be decorated")
+
+    assigned = set(KERNEL_PARAMS)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            assigned.add(node.id)
+        elif isinstance(node, ast.comprehension):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    assigned.add(target.id)
+
+    state_added = False
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+            _fail("kernel must not define nested functions")
+        if isinstance(node, (ast.ClassDef, ast.Import, ast.ImportFrom)):
+            _fail(f"forbidden statement {type(node).__name__}")
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            _fail(f"forbidden scope statement {type(node).__name__}")
+        if isinstance(node, (ast.While, ast.With, ast.AsyncWith, ast.Raise, ast.Delete)):
+            _fail(f"forbidden statement {type(node).__name__}")
+        if isinstance(node, _FORBIDDEN_EXPRESSIONS):
+            _fail(f"forbidden expression {type(node).__name__}")
+        if isinstance(node, ast.stmt) and not isinstance(
+            node, _ALLOWED_STATEMENTS + (ast.FunctionDef,)
+        ):
+            _fail(f"statement {type(node).__name__} is not in the kernel grammar")
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id not in assigned and node.id not in ALLOWED_GLOBALS:
+                _fail(
+                    f"free name {node.id!r} is outside the kernel namespace "
+                    f"(params, locals, {sorted(ALLOWED_GLOBALS)})"
+                )
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if (
+                not isinstance(base, ast.Name)
+                or base.id != "ctx"
+                or node.attr not in ALLOWED_CTX_ATTRS
+                or not isinstance(node.ctx, ast.Load)
+            ):
+                _fail(
+                    f"attribute access {ast.unparse(node)!r} outside the "
+                    f"ctx.state_add/ctx.state_remove allowlist"
+                )
+            if node.attr == "state_add":
+                state_added = True
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "C":
+                index = node.slice
+                if (
+                    not isinstance(index, ast.Constant)
+                    or not isinstance(index.value, int)
+                    or isinstance(index.value, bool)
+                ):
+                    _fail(
+                        f"consts subscript {ast.unparse(node)!r} must use a "
+                        f"literal int index"
+                    )
+                if not 0 <= index.value < n_consts:
+                    _fail(
+                        f"consts index {index.value} out of range "
+                        f"[0, {n_consts})"
+                    )
+                if not isinstance(node.ctx, ast.Load):
+                    _fail("consts tuple C must not be written")
+
+    _check_structure(fn, state_added)
+    _check_compact_guards(fn)
+
+
+def _check_structure(fn: ast.FunctionDef, state_added: bool) -> None:
+    """The kernel skeleton: prologue assignments, then one
+    try/finally whose body is a single ``for`` over ``source`` (plus
+    the aggregate epilogue), with state release in the finally."""
+    trys = [node for node in fn.body if isinstance(node, ast.Try)]
+    if len(trys) != 1 or trys[0] is not fn.body[-1]:
+        _fail("kernel body must end with exactly one try/finally")
+    guard = trys[0]
+    if guard.handlers or guard.orelse or not guard.finalbody:
+        _fail("kernel try must have a finally and no except/else")
+    for stmt in fn.body[:-1]:
+        if not isinstance(stmt, ast.Assign):
+            _fail("kernel prologue may only contain assignments")
+    loops = [node for node in guard.body if isinstance(node, ast.For)]
+    if len(loops) != 1 or loops[0] is not guard.body[0]:
+        _fail("kernel try body must start with the single source loop")
+    loop = loops[0]
+    if not (isinstance(loop.iter, ast.Name) and loop.iter.id == "source"):
+        _fail("kernel loop must iterate the source parameter")
+    if state_added:
+        removes = [
+            node
+            for node in ast.walk(ast.Module(body=guard.finalbody, type_ignores=[]))
+            if isinstance(node, ast.Attribute) and node.attr == "state_remove"
+        ]
+        if not removes:
+            _fail(
+                "kernel charges ctx.state_add but its finally never calls "
+                "ctx.state_remove"
+            )
+
+
+def _check_compact_guards(fn: ast.FunctionDef) -> None:
+    """Every ``cols, n = _compact(...)`` must be immediately followed
+    by ``if not n: continue`` in the same block, so no downstream stage
+    sees filtered-out lanes or a stale count."""
+
+    def is_compact_assign(stmt: ast.stmt) -> bool:
+        return (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Name)
+            and stmt.value.func.id == "_compact"
+        )
+
+    def is_guard(stmt: ast.stmt) -> bool:
+        return (
+            isinstance(stmt, ast.If)
+            and isinstance(stmt.test, ast.UnaryOp)
+            and isinstance(stmt.test.op, ast.Not)
+            and isinstance(stmt.test.operand, ast.Name)
+            and stmt.test.operand.id == "n"
+            and len(stmt.body) == 1
+            and isinstance(stmt.body[0], ast.Continue)
+            and not stmt.orelse
+        )
+
+    for node in ast.walk(fn):
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(node, field, None)
+            if not isinstance(block, list):
+                continue
+            for position, stmt in enumerate(block):
+                if not is_compact_assign(stmt):
+                    continue
+                following = block[position + 1] if position + 1 < len(block) else None
+                if following is None or not is_guard(following):
+                    _fail(
+                        f"filter stage {ast.unparse(stmt)!r} is not followed "
+                        f"by the 'if not n: continue' guard"
+                    )
+
+
+def audit_consts(consts: tuple, ctx) -> None:
+    """Verify a cacheable kernel's consts are closure-free of ``ctx``.
+
+    ``_KERNEL_CACHE`` shares ``(kernel_fn, consts)`` across
+    RunContexts; that is only sound if no const closure captured this
+    context or its correlation env.  Walks every callable const's
+    closure cells and defaults (transitively, bounded) and fails if
+    any reachable cell holds the context or the env dict.
+    """
+    forbidden = {id(ctx): "the RunContext", id(ctx.env): "ctx.env"}
+    seen: set[int] = set()
+    stack: list = [(index, const) for index, const in enumerate(consts)]
+    depth = 0
+    while stack and depth < 10_000:
+        depth += 1
+        index, obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        label = forbidden.get(id(obj))
+        if label is not None:
+            _fail(
+                f"cacheable kernel const #{index} captures {label}; "
+                f"sharing it across contexts would leak one query's "
+                f"correlation state into another"
+            )
+        closure = getattr(obj, "__closure__", None)
+        if closure:
+            stack.extend((index, cell.cell_contents) for cell in closure)
+        defaults = getattr(obj, "__defaults__", None)
+        if defaults:
+            stack.extend((index, default) for default in defaults)
+        if isinstance(obj, (tuple, list)):
+            stack.extend((index, item) for item in obj)
+        elif isinstance(obj, dict):
+            stack.extend((index, value) for value in obj.values())

@@ -87,6 +87,9 @@ class QueryMetrics:
     #: Compiled-engine counters: fused pipeline kernels generated for
     #: this query (cache hits within one execution don't recount).
     pipelines_compiled: int = 0
+    #: Synthesized kernels statically verified by the kernel auditor
+    #: (:mod:`repro.engine.kernel_audit`; armed via ``validate_plans``).
+    kernels_audited: int = 0
     #: Per-operator / per-pipeline cumulative wall time in seconds,
     #: keyed by a stable display label ("Scan(store_sales) #3",
     #: "Pipeline[Scan(item)→Filter→Project] #1").  Populated only when
@@ -242,6 +245,10 @@ class RunContext:
         #: Optional :class:`Profiler`; engines wrap operator iterators
         #: when set (``OptimizerConfig(profile=True)``).
         self.profiler: Profiler | None = None
+        #: Statically audit every synthesized pipeline kernel before it
+        #: runs (repro.engine.kernel_audit).  Sessions arm this from
+        #: ``OptimizerConfig(validate_plans=True)``.
+        self.audit_kernels = False
         #: Accounting override stack: CachePopulate pushes a tee so the
         #: subplan's scans are metered (for ``saved_bytes``) while still
         #: charging the query; ``accounting`` is a property so scans

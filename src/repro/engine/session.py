@@ -121,6 +121,7 @@ class Session:
                 limits=self._limits,
             )
             self._active_ctx = run_ctx
+            run_ctx.audit_kernels = self.config.validate_plans
             if self._cancel_pending:
                 self._cancel_pending = False
                 run_ctx.cancel()

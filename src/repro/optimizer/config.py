@@ -104,11 +104,21 @@ class OptimizerConfig:
     strict_blocks: str | None = None
     #: Run the plan invariant validator
     #: (:func:`repro.algebra.validator.validate_plan`) on the pipeline
-    #: input and after every pass that changes the plan, and check the
-    #: §III fusion contract after every successful ``Fuse``.  Errors
-    #: name the offending rule.  Off by default (it costs a full tree
-    #: walk per pass); the differential fuzzer and CI turn it on.
+    #: input and after every pass that changes the plan, re-derive the
+    #: abstract-interpretation column facts
+    #: (:mod:`repro.algebra.analysis`) after each change and fail on a
+    #: fact contradiction, audit every synthesized compiled-engine
+    #: kernel (:mod:`repro.engine.kernel_audit`), and check the §III
+    #: fusion contract after every successful ``Fuse``.  Errors name
+    #: the offending rule.  Off by default (it costs a full tree walk
+    #: plus a fact derivation per pass); the differential fuzzer and CI
+    #: turn it on.
     validate_plans: bool = False
+    #: Fact-driven simplification (FactSimplify): fold filter/join
+    #: conditions that catalog-derived column facts decide, and
+    #: collapse DISTINCT-shaped operators over provably-unique inputs
+    #: to projections.  On by default — it only fires on proofs.
+    enable_fact_simplify: bool = True
     #: When True, distinct aggregates are lowered to MarkDistinct
     #: *before* the fusion rules run, exercising §III.F's MarkDistinct
     #: fusion on e.g. TPC-DS Q28.  The default lowers after fusion,

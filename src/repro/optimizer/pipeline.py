@@ -34,6 +34,7 @@ from repro.optimizer.rewrites import (
     DecorrelateScalarAggregates,
     DistinctPushdown,
     FactorAggregateMasks,
+    FactSimplify,
     GreedyJoinOrder,
     LowerDistinctAggregates,
     MergeProjections,
@@ -65,6 +66,10 @@ def build_pipeline(config: OptimizerConfig) -> list[PlanPass]:
         PredicatePushdown(),
         ProjectionPruning(),
     ]
+    if config.enable_fact_simplify:
+        # Derived-fact folding runs after pushdown so predicates sit
+        # next to the scans whose statistics decide them.
+        passes.append(FactSimplify())
     if config.lower_distinct_before_fusion:
         passes.append(LowerDistinctAggregates())
     if config.enable_fusion and config.enable_union_all_on_join:
@@ -91,6 +96,13 @@ def build_pipeline(config: OptimizerConfig) -> list[PlanPass]:
             SimplifyExpressions(),
         ]
     )
+    if config.enable_fact_simplify:
+        # Second round over the final shape: fusion compensators and
+        # join-key rewrites expose new always-true/redundant-DISTINCT
+        # opportunities.
+        passes.append(FactSimplify())
+        passes.append(RemoveTrivialFilters())
+        passes.append(ProjectionPruning())
     if config.enable_spooling:
         # The roadmap fallback: materialize duplicates fusion left behind.
         passes.append(SpoolDuplicateSubtrees())

@@ -1,6 +1,7 @@
 """Classical rewrite rules (the engine's baseline rule set)."""
 
 from repro.optimizer.rewrites.distinct import LowerDistinctAggregates
+from repro.optimizer.rewrites.facts import FactSimplify
 from repro.optimizer.rewrites.join_order import GreedyJoinOrder
 from repro.optimizer.rewrites.masks import FactorAggregateMasks
 from repro.optimizer.rewrites.pruning import ProjectionPruning
@@ -21,6 +22,7 @@ from repro.optimizer.rewrites.subqueries import (
 
 __all__ = [
     "SimplifyExpressions",
+    "FactSimplify",
     "RemoveTrivialFilters",
     "MergeProjections",
     "PruneUnionBranches",

@@ -1,0 +1,92 @@
+"""Fact-driven simplification (derived-property rewrites).
+
+Uses the abstract interpreter (:mod:`repro.algebra.analysis`) the way
+a bottom-up optimizer uses derived properties: filter and join
+conditions fold against the child's derived column facts
+(always-TRUE conjuncts disappear, never-TRUE filters become empty
+relations), and DISTINCT-shaped operators whose input is provably
+duplicate-free on the relevant columns collapse to projections.
+
+The distinctness rewrites are sound under the engines' grouping
+semantics — NULLs compare equal and NaN canonicalizes via
+``canon_key`` — which is exactly the equivalence the analyzer's key
+facts are stated in.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.analysis import FactAnalyzer
+from repro.algebra.expressions import FALSE, NULL, TRUE, ColumnRef
+from repro.algebra.operators import (
+    Filter,
+    GroupBy,
+    MarkDistinct,
+    PlanNode,
+    Project,
+    Values,
+)
+from repro.algebra.simplify import simplify_with_facts
+from repro.algebra.visitors import transform_up
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.rule import PlanPass
+
+
+class FactSimplify(PlanPass):
+    """Fold predicates and drop redundant DISTINCTs using derived facts."""
+
+    name = "fact_simplify"
+
+    def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
+        analyzer = FactAnalyzer(ctx.catalog)
+        changed = False
+
+        def fix(node: PlanNode) -> PlanNode:
+            nonlocal changed
+            rewritten = self._rewrite(node, analyzer)
+            if rewritten is None:
+                return node
+            changed = True
+            return rewritten
+
+        result = transform_up(plan, fix)
+        if changed:
+            ctx.record(self.name)
+        return result
+
+    def _rewrite(self, node: PlanNode, analyzer: FactAnalyzer) -> PlanNode | None:
+        if isinstance(node, Filter):
+            child_facts = analyzer.facts(node.child)
+            condition = simplify_with_facts(node.condition, child_facts.columns)
+            if condition == TRUE:
+                return node.child
+            if condition == FALSE or condition == NULL:
+                # In a filter context NULL keeps no rows, same as FALSE.
+                return Values(node.output_columns, ())
+            if condition != node.condition:
+                return Filter(node.child, condition)
+            return None
+        if isinstance(node, GroupBy):
+            # GROUP BY over provably-unique keys with no aggregates is
+            # the identity (modulo column order, which GroupBy already
+            # pins to its key list).
+            if node.aggregates or not node.keys:
+                return None
+            child_facts = analyzer.facts(node.child)
+            if not child_facts.is_unique(k.cid for k in node.keys):
+                return None
+            assignments = tuple((key, ColumnRef(key)) for key in node.keys)
+            return Project(node.child, assignments)
+        if isinstance(node, MarkDistinct):
+            # When every unmasked row is provably the first of its key
+            # group, the marker is constantly TRUE.
+            if node.mask != TRUE:
+                return None
+            child_facts = analyzer.facts(node.child)
+            if not child_facts.is_unique(c.cid for c in node.columns):
+                return None
+            assignments = tuple(
+                (c, ColumnRef(c)) for c in node.child.output_columns
+            )
+            assignments += ((node.marker, TRUE),)
+            return Project(node.child, assignments)
+        return None

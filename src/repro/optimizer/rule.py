@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import abc
 
+from repro.algebra.analysis import FactAnalyzer, fact_conflicts
 from repro.algebra.operators import PlanNode
 from repro.algebra.validator import validate_plan
 from repro.algebra.visitors import transform_up
@@ -67,8 +68,10 @@ class Pipeline:
 
     def run(self, plan: PlanNode, ctx: OptimizerContext) -> PlanNode:
         validate = ctx.config.validate_plans
+        analyzer = FactAnalyzer(ctx.catalog) if validate else None
         if validate:
             _checked(plan, ctx, "pipeline input")
+            facts = analyzer.facts(plan)
         for plan_pass in self.passes:
             before = plan
             plan = plan_pass.run(plan, ctx)
@@ -76,6 +79,20 @@ class Pipeline:
                 raise OptimizerError(f"pass {plan_pass.name} returned None")
             if validate and plan is not before:
                 _checked(plan, ctx, plan_pass.name)
+                # Fact-drift check: re-derive column facts and fail
+                # with per-rule blame if the rewritten plan's facts
+                # *contradict* the input's — precision may move, but
+                # two sound analyses of equivalent plans can never
+                # definitely disagree (see fact_conflicts).
+                after = analyzer.facts(plan)
+                conflicts = fact_conflicts(facts, after, plan.output_columns)
+                if conflicts:
+                    raise OptimizerError(
+                        f"rule {plan_pass.name!r} produced a plan whose "
+                        f"derived facts contradict its input: "
+                        + "; ".join(conflicts)
+                    )
+                facts = after
         return plan
 
 

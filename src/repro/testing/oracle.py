@@ -24,13 +24,22 @@ rejects; that is uniform and expected).  Everything else is a
 * ``error`` — cells disagree on outcome/error class, or agree on an
   error class that should never happen (ExecutionError, PlanError …);
 * ``validator`` — the plan invariant validator fired (OptimizerError);
+* ``analysis`` — the abstract interpreter's static column facts
+  (repro.algebra.analysis) contradicted the rows a cell actually
+  produced: a value outside its derived bounds, a NULL in a column
+  proved non-nullable, a duplicate under a derived key …;
 * ``crash`` — a non-ReproError exception escaped the engine.
+
+The ``analysis`` dimension makes the fuzzer a soundness oracle for the
+abstract interpreter itself: every one of the sixteen cells checks its
+real output against the facts derived from its own optimized plan.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.algebra.analysis import verify_facts
 from repro.engine.session import Session
 from repro.engine.vectors import numpy_enabled
 from repro.errors import BindingError, OptimizerError, ReproError, SqlSyntaxError
@@ -63,7 +72,7 @@ class Divergence:
     """A failed differential check."""
 
     sql: str
-    kind: str  # "rows" | "error" | "validator" | "crash"
+    kind: str  # "rows" | "error" | "validator" | "analysis" | "crash"
     detail: str
     cells: dict[str, str] = field(default_factory=dict)
 
@@ -95,9 +104,12 @@ def canonical_rows(rows: list[tuple]) -> list[tuple]:
 class DifferentialOracle:
     """Runs queries across the full config matrix against one store."""
 
-    def __init__(self, store: Store, batch_rows: int = 128):
+    def __init__(self, store: Store, batch_rows: int = 128, analysis: bool = True):
         self.store = store
         self.batch_rows = batch_rows
+        #: When set, every successful cell also checks its rows against
+        #: the static column facts derived from its optimized plan.
+        self.analysis = analysis
         #: Status of the most recent ``check`` call: "ok", "benign" (a
         #: uniform parse/bind error), or "divergence".  Drivers read it
         #: for reporting; it carries no oracle state.
@@ -132,6 +144,16 @@ class DifferentialOracle:
     def _run_once(self, session: Session, sql: str) -> CellOutcome:
         try:
             result = session.execute(sql)
+            if self.analysis:
+                violations = verify_facts(
+                    result.optimized_plan, result.rows, session.catalog
+                )
+                if violations:
+                    return CellOutcome(
+                        None,
+                        error="AnalysisViolation",
+                        message="; ".join(violations),
+                    )
             return CellOutcome(rows=canonical_rows(result.rows))
         except (SqlSyntaxError, BindingError) as exc:
             return CellOutcome(None, error=type(exc).__name__, message=str(exc))
@@ -171,6 +193,8 @@ class DifferentialOracle:
             kind = "error"
             if any(s.startswith("crash:") for s in distinct):
                 kind = "crash"
+            elif "AnalysisViolation" in distinct:
+                kind = "analysis"
             return Divergence(sql, kind, detail, signatures)
 
         (signature,) = distinct
@@ -183,6 +207,8 @@ class DifferentialOracle:
             self.last_status = "divergence"
             if signature == OptimizerError.__name__:
                 kind = "validator"
+            elif signature == "AnalysisViolation":
+                kind = "analysis"
             elif signature.startswith("crash:"):
                 kind = "crash"
             else:

@@ -88,19 +88,22 @@ def run_fuzz(
     store: Store | None = None,
     minimize_failures: bool = True,
     fail_fast: bool = False,
+    analysis: bool = True,
     progress: Callable[[int, "FuzzReport"], None] | None = None,
 ) -> FuzzReport:
     """Run ``count`` seeded queries through the differential oracle.
 
     ``store`` lets callers (tests) reuse an already generated dataset;
     otherwise one is generated at ``scale`` with ``data_seed``.
+    ``analysis`` arms the static-facts runtime check in every cell
+    (see :class:`~repro.testing.oracle.DifferentialOracle`).
     """
     if store is None:
         store = generate_dataset(scale=scale, seed=data_seed)
     catalog = Catalog()
     store.load_catalog(catalog)
     generator = QueryGenerator(catalog, seed=seed)
-    oracle = DifferentialOracle(store)
+    oracle = DifferentialOracle(store, analysis=analysis)
     report = FuzzReport(seed=seed, count=count)
 
     for index in range(count):

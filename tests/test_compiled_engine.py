@@ -130,6 +130,48 @@ def _store_with_prices(prices):
     return store
 
 
+def _nan_canonical_rows(rows):
+    return sorted(
+        (
+            tuple(
+                "NaN" if isinstance(v, float) and v != v else v for v in row
+            )
+            for row in rows
+        ),
+        key=lambda r: tuple((v is None, str(v)) for v in r),
+    )
+
+
+@pytest.mark.parametrize(
+    "sql",
+    [
+        "SELECT count(DISTINCT t.price) FROM t",
+        "SELECT sum(DISTINCT t.price) FROM t",
+        "SELECT DISTINCT t.price FROM t",
+        "SELECT t.id < 200, count(DISTINCT t.price) FROM t GROUP BY t.id < 200",
+    ],
+)
+def test_nan_salted_distinct_agrees_across_engines(sql):
+    """All NaNs are one DISTINCT key on every engine (canon_key
+    semantics).  Regression: the compiled engine's np.unique marker
+    path and its per-row fallback used raw float identity, so a store
+    salted with several distinct NaN objects over-counted."""
+    nan = float("nan")
+    prices = [1.0, nan, 2.0, nan, 1.0, None, nan, 3.0, None, 2.0] * 40
+    store = _store_with_prices(prices)
+    reference = None
+    for config in (
+        OptimizerConfig(engine="row"),
+        OptimizerConfig(engine="batch"),
+        OptimizerConfig(engine="compiled", vectors="python"),
+        OptimizerConfig(engine="compiled", vectors="numpy"),
+    ):
+        rows = _nan_canonical_rows(Session(store, config).execute(sql).rows)
+        if reference is None:
+            reference = rows
+        assert rows == reference, f"{config.engine}/{config.vectors}"
+
+
 def test_nan_group_keys_match_row_engine():
     """NaN group keys hit the factorizer's dict fallback (np.unique
     would collapse NaNs into one group; Python dict identity semantics

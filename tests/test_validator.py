@@ -177,6 +177,75 @@ class TestBadPlans:
         with pytest.raises(PlanError, match="stored column"):
             validate_plan(plan, catalog)
 
+    def test_comparison_of_integer_with_string(self, env):
+        """INTEGER = STRING resolves structurally but would only fail
+        deep inside a vector backend at runtime; the validator must
+        reject it as a plan error instead."""
+        catalog, _ = env
+        scan = scan_people(catalog, "id", "fname")
+        id_col, fname_col = scan.columns
+        plan = Filter(
+            scan, Comparison("=", ColumnRef(id_col), ColumnRef(fname_col))
+        )
+        with pytest.raises(PlanError, match="compares"):
+            validate_plan(plan, catalog)
+
+    def test_in_list_item_type_mismatch(self, env):
+        from repro.algebra.expressions import InList, Literal, string
+
+        catalog, _ = env
+        scan = scan_people(catalog, "id")
+        plan = Filter(
+            scan,
+            InList(ColumnRef(scan.columns[0]), (integer(1), string("x"))),
+        )
+        with pytest.raises(PlanError, match="IN item"):
+            validate_plan(plan, catalog)
+
+    def test_null_literal_is_a_type_wildcard(self, env):
+        """Bare NULL is typed BOOLEAN by the binder but compares
+        legally (yielding NULL) against any operand type."""
+        from repro.algebra.expressions import InList, Literal
+
+        catalog, _ = env
+        scan = scan_people(catalog, "id")
+        null = Literal(None, DataType.BOOLEAN)
+        validate_plan(
+            Filter(scan, Comparison("=", ColumnRef(scan.columns[0]), null)),
+            catalog,
+        )
+        validate_plan(
+            Filter(
+                scan, InList(ColumnRef(scan.columns[0]), (integer(1), null))
+            ),
+            catalog,
+        )
+
+    def test_mixed_comparison_blamed_on_rule(self, env):
+        """Through a validating pipeline, the pass that introduced the
+        mixed-type comparison is named in the error."""
+        catalog, binder = env
+        plan = binder.bind_sql("SELECT id, fname FROM people").plan
+
+        class MixesTypes(PlanPass):
+            name = "planted_type_mixer"
+
+            def run(self, inner, ctx):
+                id_col = next(
+                    c for c in inner.output_columns if c.name == "id"
+                )
+                fname = next(
+                    c for c in inner.output_columns if c.name == "fname"
+                )
+                return Filter(
+                    inner,
+                    Comparison("=", ColumnRef(id_col), ColumnRef(fname)),
+                )
+
+        ctx = OptimizerContext(catalog, OptimizerConfig(validate_plans=True))
+        with pytest.raises(OptimizerError, match="planted_type_mixer"):
+            Pipeline([MixesTypes()]).run(plan, ctx)
+
 
 class TestBadFusionResults:
     """Sabotaged §III contracts caught by ``validate_fusion_result``."""
