@@ -120,9 +120,14 @@ def bench_query(store, plan, block_rows: int, repeat: int) -> dict:
         "speedup": row_s / max(batch_s, 1e-9),
         "speedup_compiled": row_s / max(compiled_s, 1e-9),
         "rows_out": rows_out,
-        "rows_per_s_row": rows_out / max(row_s, 1e-9),
-        "rows_per_s_batch": rows_out / max(batch_s, 1e-9),
-        "rows_per_s_compiled": rows_out / max(compiled_s, 1e-9),
+        # Zero-row queries have no meaningful throughput: emit null
+        # rather than a misleading 0.0 rows/s (downstream aggregation
+        # must skip them, not average them in).
+        "rows_per_s_row": rows_out / max(row_s, 1e-9) if rows_out else None,
+        "rows_per_s_batch": rows_out / max(batch_s, 1e-9) if rows_out else None,
+        "rows_per_s_compiled": (
+            rows_out / max(compiled_s, 1e-9) if rows_out else None
+        ),
     }
 
 

@@ -62,6 +62,7 @@ from repro.algebra.operators import (
     CachePopulate,
     CachedScan,
     EnforceSingleRow,
+    Exchange,
     Filter,
     GroupBy,
     Join,
@@ -70,6 +71,7 @@ from repro.algebra.operators import (
     MarkDistinct,
     PlanNode,
     Project,
+    Repartition,
     ScalarApply,
     Scan,
     Sort,
@@ -952,6 +954,11 @@ class FactAnalyzer:
                 _add_key(keys, frozenset(mapping[cid] for cid in key))
         return PlanFacts(columns, tuple(keys), child.max_rows)
 
+    def _exchange(self, plan) -> PlanFacts:
+        # Exchange/Repartition are bag-identity: same columns, same
+        # rows, so the child's facts transfer unchanged.
+        return self.facts(plan.child)
+
     def _cached_scan(self, plan: CachedScan) -> PlanFacts:
         # Replayed bytes carry no statistics; everything is unknown.
         return _top_facts(plan)
@@ -1067,6 +1074,8 @@ _HANDLERS = {
     Spool: FactAnalyzer._spool,
     CachedScan: FactAnalyzer._cached_scan,
     CachePopulate: FactAnalyzer._cache_populate,
+    Exchange: FactAnalyzer._exchange,
+    Repartition: FactAnalyzer._exchange,
     ScalarApply: FactAnalyzer._scalar_apply,
 }
 

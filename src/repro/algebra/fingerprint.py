@@ -71,6 +71,7 @@ from repro.algebra.operators import (
     CachePopulate,
     CachedScan,
     EnforceSingleRow,
+    Exchange,
     Filter,
     GroupBy,
     Join,
@@ -79,6 +80,7 @@ from repro.algebra.operators import (
     MarkDistinct,
     PlanNode,
     Project,
+    Repartition,
     ScalarApply,
     Scan,
     Sort,
@@ -271,9 +273,12 @@ def _compute(node: PlanNode, outer: Mapping[int, str]) -> PlanFingerprint:
             node.fingerprint, colmap, False, frozenset(node.tables)
         )
 
-    if isinstance(node, CachePopulate):
+    if isinstance(node, (CachePopulate, Exchange, Repartition)):
         # Transparent: populating a subplan does not change what it
         # computes, so the wrapper fingerprints exactly like its child.
+        # Exchange/Repartition are bag-identity placement markers — the
+        # same computation run on one worker or eight must hit the same
+        # cache entries.
         return _canonical(node.child, outer)
 
     if isinstance(node, Spool):

@@ -613,6 +613,66 @@ class CachePopulate(PlanNode):
         return self.child.output_columns
 
 
+@dataclass(frozen=True)
+class Exchange(PlanNode):
+    """Fragment boundary: gather the child's rows across workers.
+
+    Semantically the identity — an Exchange produces exactly its
+    child's bag of rows, in the child's serial order.  The parallel
+    planner (:mod:`repro.optimizer.parallel_plan`) inserts one at the
+    root of every partition-parallel subtree; the fragment scheduler
+    (:mod:`repro.engine.parallel`) executes the subtree morsel-wise on
+    a worker pool and replaces the node with its gathered rows.  Serial
+    engines execute it as a pass-through, so a plan carrying Exchange
+    nodes means the same thing on one worker as on eight.
+    """
+
+    child: PlanNode
+    exchange_id: int
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[PlanNode, ...]) -> "Exchange":
+        (child,) = children
+        return Exchange(child, self.exchange_id)
+
+    @property
+    def output_columns(self) -> tuple[Column, ...]:
+        return self.child.output_columns
+
+
+@dataclass(frozen=True)
+class Repartition(PlanNode):
+    """Hash shuffle on ``keys``: route each row to the bucket owning
+    its key hash.
+
+    Bag-semantically the identity (every row comes out exactly once);
+    only the *placement* of rows changes.  The fragment scheduler uses
+    it to feed shuffle-consuming GroupBy/Join fragments: all rows
+    agreeing on ``keys`` land in the same bucket, so per-bucket
+    aggregation/joining is exact.  Serial engines execute it as a
+    pass-through.  ``keys`` must be child output columns.
+    """
+
+    child: PlanNode
+    keys: tuple[Column, ...]
+    exchange_id: int
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[PlanNode, ...]) -> "Repartition":
+        (child,) = children
+        return Repartition(child, self.keys, self.exchange_id)
+
+    @property
+    def output_columns(self) -> tuple[Column, ...]:
+        return self.child.output_columns
+
+
 def referenced_columns(node: PlanNode) -> set[Column]:
     """Columns of ``node``'s children that ``node``'s own expressions
     reference (not recursive)."""
@@ -645,6 +705,8 @@ def referenced_columns(node: PlanNode) -> set[Column]:
     elif isinstance(node, Sort):
         for key in node.keys:
             refs |= columns_in(key.expression)
+    elif isinstance(node, Repartition):
+        refs |= set(node.keys)
     if isinstance(node, Scan) and node.predicate is not None:
         refs |= columns_in(node.predicate)
     return refs

@@ -61,8 +61,20 @@ def _describe(node: PlanNode) -> str:
         return f"Limit[{node.count}]"
     if isinstance(node, EnforceSingleRow):
         return "EnforceSingleRow"
-    from repro.algebra.operators import CachedScan, CachePopulate, ScalarApply, Spool
+    from repro.algebra.operators import (
+        CachedScan,
+        CachePopulate,
+        Exchange,
+        Repartition,
+        ScalarApply,
+        Spool,
+    )
 
+    if isinstance(node, Exchange):
+        return f"Exchange[#{node.exchange_id}]"
+    if isinstance(node, Repartition):
+        keys = ", ".join(repr(k) for k in node.keys)
+        return f"Repartition[#{node.exchange_id} on ({keys})]"
     if isinstance(node, ScalarApply):
         return f"ScalarApply[{node.output!r} := {node.value!r}]"
     if isinstance(node, Spool):

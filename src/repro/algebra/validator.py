@@ -37,6 +37,7 @@ from repro.algebra.operators import (
     AGGREGATE_FUNCTIONS,
     CachePopulate,
     CachedScan,
+    Exchange,
     Filter,
     GroupBy,
     Join,
@@ -45,6 +46,7 @@ from repro.algebra.operators import (
     MarkDistinct,
     PlanNode,
     Project,
+    Repartition,
     ScalarApply,
     Scan,
     Sort,
@@ -317,8 +319,17 @@ def validate_plan(plan: PlanNode, catalog: "Catalog | None" = None) -> None:
                         f"Spool column {col!r} has type {col.dtype.value} but "
                         f"renames {src!r} of type {src.dtype.value}"
                     )
-        elif isinstance(node, (CachedScan, CachePopulate)):
-            pass  # arity enforced by the constructors
+        elif isinstance(node, Repartition):
+            child_cols = set(node.child.output_columns)
+            if not node.keys:
+                raise PlanError("Repartition requires at least one key")
+            for key in node.keys:
+                if key not in child_cols:
+                    raise PlanError(
+                        f"Repartition key {key!r} is not a child output column"
+                    )
+        elif isinstance(node, (CachedScan, CachePopulate, Exchange)):
+            pass  # arity enforced by the constructors; Exchange is identity
 
         if isinstance(node, ScalarApply):
             if node.value not in node.subquery.output_columns:

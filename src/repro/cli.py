@@ -136,6 +136,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the plan invariant validator after every optimizer rule",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fragment worker processes: >1 cuts the plan into "
+        "partition-parallel pipeline fragments dispatched to a "
+        "persistent pool (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-shards",
+        type=int,
+        default=1,
+        help="plan-cache shard count (>1 makes populate/replay "
+        "concurrency-safe per shard; default 1 = monolithic)",
+    )
+    parser.add_argument(
+        "--io-latency-ms",
+        type=float,
+        default=0.0,
+        help="simulated per-partition object-store read latency in ms "
+        "(models the S3 regime where parallel fragments overlap I/O "
+        "waits; default 0)",
+    )
     return parser
 
 
@@ -179,6 +202,15 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         default=500,
         help="print a progress line every N queries (0 = quiet)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="*",
+        default=[],
+        help="add parallel-execution cells to the matrix: each count "
+        "> 1 re-runs every query on the batch engine with that many "
+        "fragment workers (e.g. --workers 2 4)",
+    )
     return parser
 
 
@@ -207,6 +239,7 @@ def fuzz_main(argv: list[str]) -> int:
         minimize_failures=not args.no_minimize,
         fail_fast=args.fail_fast,
         analysis=not args.no_analysis,
+        workers=tuple(args.workers),
         progress=progress,
     )
     print(report.summary())
@@ -324,6 +357,9 @@ def main(argv: list[str] | None = None) -> int:
         "max_spool_rows": args.max_spool_rows,
         "max_state_rows": args.max_state_rows,
         "validate_plans": args.validate_plans,
+        "workers": args.workers,
+        "cache_shards": args.cache_shards,
+        "io_latency_ms": args.io_latency_ms,
     }
     try:
         if args.compare:
@@ -354,14 +390,14 @@ def main(argv: list[str] | None = None) -> int:
             return 0
 
         config = OptimizerConfig(enable_fusion=not args.baseline, **engine_opts)
-        session = Session(store, config)
-        result = session.execute(args.sql)
-        _print_result(result, args.limit, args.explain)
-        for run in range(2, args.repeat + 1):
+        with Session(store, config) as session:
             result = session.execute(args.sql)
-            print(f"-- run {run}: {result.metrics.summary()}")
-        if session.plan_cache is not None and args.repeat > 1:
-            print(f"-- cache: {session.plan_cache.summary()}")
+            _print_result(result, args.limit, args.explain)
+            for run in range(2, args.repeat + 1):
+                result = session.execute(args.sql)
+                print(f"-- run {run}: {result.metrics.summary()}")
+            if session.plan_cache is not None and args.repeat > 1:
+                print(f"-- cache: {session.plan_cache.summary()}")
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

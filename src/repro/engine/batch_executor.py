@@ -48,6 +48,7 @@ from repro.algebra.operators import (
     CachePopulate,
     CachedScan,
     EnforceSingleRow,
+    Exchange,
     Filter,
     GroupBy,
     Join,
@@ -56,6 +57,7 @@ from repro.algebra.operators import (
     MarkDistinct,
     PlanNode,
     Project,
+    Repartition,
     ScalarApply,
     Scan,
     Sort,
@@ -160,7 +162,31 @@ def dispatch_blocks_batch(
         return _run_cached_scan(plan, ctx, block_rows)
     if isinstance(plan, CachePopulate):
         return _run_cache_populate(plan, ctx, block_rows)
+    if isinstance(plan, Exchange):
+        return _run_exchange(plan, ctx, block_rows)
+    if isinstance(plan, Repartition):
+        # Bag-identity: the fragment scheduler consumes Repartition
+        # before the plan reaches an engine; serially it passes through.
+        return execute_blocks(plan.child, ctx, block_rows)
     raise ExecutionError(f"no batch executor for operator {plan.name}")
+
+
+def _run_exchange(
+    plan: Exchange, ctx: RunContext, block_rows: int
+) -> Iterator[Block]:
+    """Replay gathered fragment rows as blocks, or pass through.
+
+    See the row engine's ``_run_exchange``: the parallel scheduler
+    deposits gathered rows (already in exact serial order) into
+    ``ctx.exchange_results`` keyed by exchange id; absent an entry the
+    node is the identity.
+    """
+    gathered = ctx.exchange_results.get(plan.exchange_id)
+    if gathered is None:
+        return execute_blocks(plan.child, ctx, block_rows)
+    return _blocks_from_row_list(
+        list(gathered), len(plan.output_columns), block_rows
+    )
 
 
 # -- block plumbing ------------------------------------------------------

@@ -622,7 +622,7 @@ def _run_keyed_group_by_nv(
             yield _rows_block([tuple(a.result() for a in accs)], out_width)
         return
     cols = [_concat_column(segs, total) for segs in segments]
-    if total < _KEYED_NV_MIN_ROWS:
+    if total < _KEYED_NV_SMALL_ROWS:
         # Tiny inputs: one stable sort + per-group array slicing costs
         # more than it saves — run the batch engine's exact per-row
         # loop over the buffered columns instead.
@@ -636,6 +636,17 @@ def _run_keyed_group_by_nv(
     ]
     codes, group_keys = _group_codes(key_cols, total)
     group_count = len(group_keys)
+    if group_count > total * _KEYED_NV_MAX_GROUP_RATIO:
+        # Nearly-unique keys: the vector path degenerates into a
+        # Python loop over single-row groups *plus* the stable sort it
+        # paid to get there — the dict scan does strictly less work
+        # per row on that shape.  Deciding from the *observed* group
+        # cardinality is affordable because factorization runs at C
+        # speed; the per-group loop below is the expensive part.
+        yield from _keyed_group_by_rows(
+            plan, [delist(c) for c in cols], total, block_rows, ctx
+        )
+        return
     order = np.argsort(codes, kind="stable")
     offsets = np.zeros(group_count + 1, dtype=np.int64)
     np.cumsum(np.bincount(codes, minlength=group_count), out=offsets[1:])
@@ -660,9 +671,17 @@ def _run_keyed_group_by_nv(
         ctx.state_remove(group_count)
 
 
-#: Below this many buffered input rows the keyed GroupBy skips the
-#: array grouping machinery (sort + per-group slicing dominates).
-_KEYED_NV_MIN_ROWS = 256
+#: Below this many buffered input rows the keyed GroupBy always skips
+#: the array grouping machinery (sort + per-group slicing dominates
+#: regardless of key shape).
+_KEYED_NV_SMALL_ROWS = 64
+
+#: Observed groups-per-row ratio above which the per-row dict scan is
+#: chosen over vectorized grouping.  Micro-bench (DESIGN.md §13,
+#: 20k rows, single int key): the crossover sits between ratio 0.10
+#: (vector 20ms vs loop 37ms) and 0.30 (62ms vs 50ms); at ratio 1.0
+#: the vector path is ~1.5x slower.  0.25 splits the bracket.
+_KEYED_NV_MAX_GROUP_RATIO = 0.25
 
 
 def _keyed_group_by_rows(

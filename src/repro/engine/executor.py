@@ -36,6 +36,7 @@ from repro.algebra.operators import (
     CachePopulate,
     CachedScan,
     EnforceSingleRow,
+    Exchange,
     Filter,
     GroupBy,
     Join,
@@ -44,6 +45,7 @@ from repro.algebra.operators import (
     MarkDistinct,
     PlanNode,
     Project,
+    Repartition,
     ScalarApply,
     Scan,
     Sort,
@@ -119,7 +121,30 @@ def _dispatch_row(plan: PlanNode, ctx: RunContext) -> Iterator[Row]:
         return _run_cached_scan(plan, ctx)
     if isinstance(plan, CachePopulate):
         return _run_cache_populate(plan, ctx)
+    if isinstance(plan, Exchange):
+        return _run_exchange(plan, ctx)
+    if isinstance(plan, Repartition):
+        # Bag-identity: placement only matters to the fragment
+        # scheduler, which never routes a Repartition to an engine.
+        return execute(plan.child, ctx)
     raise ExecutionError(f"no executor for operator {plan.name}")
+
+
+def _run_exchange(plan: Exchange, ctx: RunContext) -> Iterator[Row]:
+    """Replay gathered fragment results, or pass through serially.
+
+    The parallel scheduler executes the subtree under each Exchange on
+    the worker pool and deposits the gathered rows (in exact serial
+    order) into ``ctx.exchange_results``; what remains of the plan then
+    runs in-process and replays them here.  Without an entry — serial
+    execution of a parallel-shaped plan — the node is the identity.
+    """
+    gathered = ctx.exchange_results.get(plan.exchange_id)
+    if gathered is None:
+        yield from execute(plan.child, ctx)
+        return
+    for row in gathered:
+        yield row
 
 
 def _check_spool_budget(ctx: RunContext, rows: int, what: str) -> None:

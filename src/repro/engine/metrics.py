@@ -249,6 +249,22 @@ class RunContext:
         #: runs (repro.engine.kernel_audit).  Sessions arm this from
         #: ``OptimizerConfig(validate_plans=True)``.
         self.audit_kernels = False
+        #: Gathered results of executed Exchange subtrees, keyed by
+        #: ``exchange_id``: the parallel scheduler fills this before
+        #: running the plan top, and the engines' Exchange operators
+        #: replay the rows instead of re-executing the subtree.  Empty
+        #: in serial execution, where Exchange is a pass-through.
+        self.exchange_results: dict[int, list[tuple]] = {}
+        #: Morsel restriction for partition-parallel fragment workers:
+        #: ``(table_name, lo, hi)`` limits scans of that table to
+        #: partitions with lo <= index < hi.  Skipped partitions are
+        #: never charged to accounting (each morsel charges exactly its
+        #: own window, so the merged totals equal a serial scan's).
+        self.partition_window: tuple[str, int, int] | None = None
+        #: Extra cooperative cancellation probe consulted by
+        #: ``checkpoint()`` — the worker side of cross-process
+        #: cancellation (a multiprocessing.Event's ``is_set``).
+        self.cancel_check = None
         #: Accounting override stack: CachePopulate pushes a tee so the
         #: subplan's scans are metered (for ``saved_bytes``) while still
         #: charging the query; ``accounting`` is a property so scans
@@ -276,7 +292,9 @@ class RunContext:
         """Cooperative cancellation/deadline check, called at block
         boundaries (partition reads, block flattening, spool
         materialization).  Near-free when neither is configured."""
-        if self._cancelled:
+        if self._cancelled or (
+            self.cancel_check is not None and self.cancel_check()
+        ):
             raise QueryCancelledError(
                 "query cancelled; partial results were discarded"
             )

@@ -23,7 +23,8 @@ from repro.engine.metrics import (
     RunContext,
     Stopwatch,
 )
-from repro.engine.plan_cache import MIB, PlanCache
+from repro.engine.parallel import WorkerPool, execute_parallel
+from repro.engine.plan_cache import MIB, PlanCache, ShardedPlanCache
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.pipeline import optimize
 from repro.sql.binder import Binder
@@ -53,7 +54,12 @@ class QueryResult:
 class Session:
     """A connection-like object bound to one store + configuration."""
 
-    def __init__(self, store: Store, config: OptimizerConfig | None = None):
+    def __init__(
+        self,
+        store: Store,
+        config: OptimizerConfig | None = None,
+        worker_pool: WorkerPool | None = None,
+    ):
         self.store = store
         self.config = config if config is not None else OptimizerConfig()
         # Fault-tolerance wiring: chaos configuration installs a
@@ -69,6 +75,15 @@ class Session:
             store.strict_blocks = self.config.strict_blocks
         if not self.config.verify_checksums:
             store.verify_checksums = False
+        if self.config.io_latency_ms > 0:
+            store.io_latency_ms = self.config.io_latency_ms
+        #: Fragment worker pool for ``workers > 1`` (DESIGN.md §13).
+        #: Created lazily on the first parallel query unless the caller
+        #: supplies a shared pool (e.g. the differential oracle, which
+        #: amortizes one pool across many single-query sessions).
+        self._pool = worker_pool
+        self._pool_owned = worker_pool is None
+        self._partition_counts: dict[str, int] | None = None
         self._retry_policy = RetryPolicy(
             max_retries=self.config.max_retries,
             base_delay_ms=self.config.retry_base_delay_ms,
@@ -87,18 +102,61 @@ class Session:
         #: Cross-query subplan result cache (§ cross-query reuse);
         #: lives as long as the session, like Athena's per-workgroup
         #: result reuse window.
-        self.plan_cache: PlanCache | None = (
-            PlanCache(self.config.cache_budget_mb * MIB)
-            if self.config.enable_plan_cache
-            else None
-        )
+        self.plan_cache: PlanCache | ShardedPlanCache | None = None
+        if self.config.enable_plan_cache:
+            budget = self.config.cache_budget_mb * MIB
+            if self.config.cache_shards > 1:
+                self.plan_cache = ShardedPlanCache(
+                    budget, shards=self.config.cache_shards
+                )
+            else:
+                self.plan_cache = PlanCache(budget)
+
+    # -- parallel execution plumbing ---------------------------------------
+
+    def _partitions(self) -> dict[str, int]:
+        """Stored partition counts for the ParallelPlan pass (cached;
+        refreshed by reload_table)."""
+        if self._partition_counts is None:
+            self._partition_counts = {
+                table.name.lower(): self.store.partition_count(table.name)
+                for table in self.catalog.tables()
+                if self.store.has(table.name)
+            }
+        return self._partition_counts
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.store, self.config.workers)
+            self._pool_owned = True
+        return self._pool
+
+    def close(self) -> None:
+        """Release session resources (the owned worker pool).  Shared
+        pools passed into the constructor are left running — their
+        owner closes them.  Idempotent."""
+        if self._pool is not None and self._pool_owned:
+            self._pool.close()
+        self._pool = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def plan(self, sql: str) -> tuple[PlanNode, tuple[str, ...]]:
         """Parse + bind + optimize; returns (plan, output names)."""
         bound = self._binder.bind_sql(sql)
         try:
             optimized, _ = optimize(
-                bound.plan, self.catalog, self.config, plan_cache=self.plan_cache
+                bound.plan,
+                self.catalog,
+                self.config,
+                plan_cache=self.plan_cache,
+                partition_counts=(
+                    self._partitions() if self.config.workers > 1 else None
+                ),
             )
         finally:
             # plan() has no execution phase, so hits pinned during the
@@ -112,7 +170,13 @@ class Session:
         bound = self._binder.bind_sql(sql)
         try:
             optimized, opt_ctx = optimize(
-                bound.plan, self.catalog, self.config, plan_cache=self.plan_cache
+                bound.plan,
+                self.catalog,
+                self.config,
+                plan_cache=self.plan_cache,
+                partition_counts=(
+                    self._partitions() if self.config.workers > 1 else None
+                ),
             )
             run_ctx = RunContext(
                 self.store,
@@ -128,6 +192,14 @@ class Session:
             if self.config.profile:
                 run_ctx.profiler = Profiler()
             with Stopwatch(run_ctx.metrics):
+                if self.config.workers > 1:
+                    # Run every Exchange subtree on the worker pool
+                    # first; the engine dispatch below then executes
+                    # the plan top serially, replaying the gathered
+                    # fragment results at each Exchange.
+                    execute_parallel(
+                        optimized, run_ctx, self.config, self._ensure_pool()
+                    )
                 if self.config.engine == "batch":
                     rows = list(
                         execute_batch(
@@ -191,6 +263,16 @@ class Session:
         self.store.register_table(name, self.catalog)
         if self.plan_cache is not None:
             self.plan_cache.invalidate_table(name)
+        # Fragment workers hold a fork-time copy of the store, and the
+        # cached partition counts may be stale: drop both (a new owned
+        # pool forks lazily on the next parallel query; a shared pool
+        # is merely disowned — its owner is responsible for it).
+        self._partition_counts = None
+        if self._pool is not None:
+            if self._pool_owned:
+                self._pool.close()
+            self._pool = None
+            self._pool_owned = True
 
     def explain(self, sql: str) -> str:
         plan, _ = self.plan(sql)

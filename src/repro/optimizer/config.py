@@ -119,6 +119,33 @@ class OptimizerConfig:
     #: collapse DISTINCT-shaped operators over provably-unique inputs
     #: to projections.  On by default — it only fires on proofs.
     enable_fact_simplify: bool = True
+    #: Scale-out execution inside one process (DESIGN.md §13): with
+    #: ``workers > 1`` the optimizer appends the ParallelPlan pass,
+    #: which cuts partition-parallel subtrees out of the optimized plan
+    #: with Exchange/Repartition markers, and the session dispatches
+    #: those fragments to a persistent multiprocessing worker pool.
+    #: ``workers == 1`` (the default) never inserts an Exchange and is
+    #: byte-for-byte the serial engine.
+    workers: int = 1
+    #: Shard count of the session's plan cache.  With > 1 the session
+    #: builds a :class:`~repro.engine.plan_cache.ShardedPlanCache`
+    #: (fingerprints routed to per-shard locks, budget split evenly) so
+    #: concurrent populate/replay is safe per shard; 1 keeps the plain
+    #: single-structure cache with its exact global budget.
+    cache_shards: int = 1
+    #: Simulated object-store read latency, milliseconds per partition
+    #: read (the S3 GET regime Athena's scans live in).  Parallel
+    #: workers overlap these waits, which is the latency-hiding effect
+    #: ``benchmarks/bench_parallel.py`` measures; 0 disables the sleep.
+    io_latency_ms: float = 0.0
+    #: Per-fragment fault domain: how many times a failed fragment is
+    #: resubmitted (on a different worker when possible) before the
+    #: query fails.
+    fragment_retries: int = 2
+    #: Stall detection: a dispatched fragment with no result after this
+    #: many milliseconds is speculatively resubmitted to another worker
+    #: (first result wins).  None disables speculation.
+    fragment_timeout_ms: float | None = None
     #: When True, distinct aggregates are lowered to MarkDistinct
     #: *before* the fusion rules run, exercising §III.F's MarkDistinct
     #: fusion on e.g. TPC-DS Q28.  The default lowers after fusion,
@@ -160,6 +187,16 @@ class OptimizerConfig:
                 f"strict_blocks must be None, 'copy' or 'verify', "
                 f"got {self.strict_blocks!r}"
             )
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.cache_shards < 1:
+            raise ValueError("cache_shards must be at least 1")
+        if self.io_latency_ms < 0:
+            raise ValueError("io_latency_ms must be non-negative")
+        if self.fragment_retries < 0:
+            raise ValueError("fragment_retries must be non-negative")
+        if self.fragment_timeout_ms is not None and self.fragment_timeout_ms <= 0:
+            raise ValueError("fragment_timeout_ms must be positive")
 
     def fusion_rules_enabled(self) -> bool:
         return self.enable_fusion and (

@@ -32,6 +32,11 @@ class OptimizerContext:
     #: cache-enabled session (None otherwise — e.g. bare ``optimize``
     #: calls in tests).  Consulted by the CrossQueryReuse pass.
     plan_cache: "PlanCache | None" = None
+    #: Stored partition count per (lower-cased) table name, supplied by
+    #: the session from its store.  The ParallelPlan pass uses it to
+    #: skip tables too small to cut into morsels; None (bare
+    #: ``optimize`` calls) makes the pass assume tables are partitioned.
+    partition_counts: "dict[str, int] | None" = None
 
     def __post_init__(self) -> None:
         from repro.optimizer.stats import CardinalityEstimator

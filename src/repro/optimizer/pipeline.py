@@ -23,6 +23,7 @@ from repro.algebra.operators import PlanNode
 from repro.catalog.catalog import Catalog
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.context import OptimizerContext
+from repro.optimizer.parallel_plan import ParallelPlan
 from repro.optimizer.fusion_rules import (
     GroupByJoinToWindow,
     JoinOnKeys,
@@ -111,6 +112,12 @@ def build_pipeline(config: OptimizerConfig) -> list[PlanPass]:
         # spooling, so spooled common subexpressions are populate
         # candidates too).
         passes.append(CrossQueryReuse())
+    if config.workers > 1:
+        # Fragment cutting runs last, over the final serial plan shape:
+        # Exchange/Repartition are placement markers every earlier rule
+        # would have to look through, and fingerprints ignore them so
+        # parallel plans share cache entries with serial ones.
+        passes.append(ParallelPlan())
     return passes
 
 
@@ -119,16 +126,21 @@ def optimize(
     catalog: Catalog,
     config: OptimizerConfig | None = None,
     plan_cache=None,
+    partition_counts=None,
 ) -> tuple[PlanNode, OptimizerContext]:
     """Optimize ``plan`` under ``config`` (default: fusion enabled).
 
     ``plan_cache`` is the session's cross-query result cache; it is
     only consulted when ``config.enable_plan_cache`` is set.
+    ``partition_counts`` maps table names to stored partition counts
+    for the ParallelPlan pass (None = assume partitioned).
 
     Returns the optimized plan and the context (whose ``fired`` list
     records which rules changed the plan).
     """
     config = config if config is not None else OptimizerConfig()
-    ctx = OptimizerContext(catalog, config, plan_cache=plan_cache)
+    ctx = OptimizerContext(
+        catalog, config, plan_cache=plan_cache, partition_counts=partition_counts
+    )
     optimized = run_pipeline(plan, build_pipeline(config), ctx)
     return optimized, ctx

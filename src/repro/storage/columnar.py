@@ -25,6 +25,7 @@ read succeeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import sleep as _sleep
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.algebra.types import DataType, encoded_bytes
@@ -302,6 +303,13 @@ class Store:
                 f"strict_blocks must be None, 'copy' or 'verify', got {strict_blocks!r}"
             )
         self.strict_blocks = strict_blocks
+        #: Simulated object-store round-trip latency per partition read
+        #: (milliseconds).  The store is in-memory, so reads are
+        #: unrealistically free; this knob restores the S3-like regime
+        #: the paper's engine operates in, where per-partition latency —
+        #: not CPU — dominates scans and partition-parallel workers win
+        #: by overlapping it.  0 disables (the default).
+        self.io_latency_ms: float = 0.0
 
     def put(self, table: StoredTable) -> None:
         self._tables[table.name.lower()] = table
@@ -319,6 +327,23 @@ class Store:
 
     def has(self, name: str) -> bool:
         return name.lower() in self._tables
+
+    def stored_table(self, name: str) -> StoredTable:
+        """Metadata access to a stored table — no fault injection.
+
+        The parallel scheduler uses this for partition counts and
+        canonical names when cutting morsel windows; actual data reads
+        still go through :meth:`get` / :meth:`scan_blocks` and their
+        fault hooks.
+        """
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no stored data for table {name!r}") from None
+
+    def partition_count(self, name: str) -> int:
+        """Stored partition count of ``name`` (metadata only)."""
+        return len(self.stored_table(name).partitions)
 
     def load_catalog(self, catalog: Catalog) -> None:
         """Register every stored table's definition (with live row
@@ -425,12 +450,23 @@ class Store:
         part_col = stored.definition.partition_column
         copy_out = self.strict_blocks == "copy"
         use_vectors = as_vectors and not copy_out
+        window = None
+        if runtime is not None:
+            window = getattr(runtime, "partition_window", None)
+            if window is not None and window[0] != stored.name.lower():
+                window = None
         for index, part in enumerate(stored.partitions):
+            if window is not None and not (window[1] <= index < window[2]):
+                # Outside this morsel's window: another worker reads
+                # (and charges) it, so skipping here is accounting-free.
+                continue
             if partition_predicate is not None and part_col is not None:
                 if not partition_predicate(part.chunk(part_col)):
                     continue
             if runtime is not None:
                 runtime.checkpoint()
+            if self.io_latency_ms > 0.0:
+                _sleep(self.io_latency_ms / 1000.0)
             accounting.record_partition(part.row_count)
             vectors = []
             for name in columns:

@@ -6,7 +6,12 @@ Each query runs across the full configuration matrix
         × {fusion on, off} × {cache cold, warm replay}
 
 — sixteen cells, every one with ``validate_plans=True`` so the
-per-rule plan invariant validator is armed.  The cold/warm dimension
+per-rule plan invariant validator is armed.  ``worker_counts`` adds a
+parallel-execution axis: for each count ``n > 1`` the batch engine
+re-runs the query at ``workers=n`` (fusion on/off × cold/warm) against
+a shared persistent fragment worker pool, and its ``bytes_scanned``
+must match the serial batch cell exactly — fragment scheduling, retry
+and metric merging may not perturb rows *or* accounting.  The cold/warm dimension
 comes from executing the query twice in a fresh cache-enabled session:
 the first run populates the cross-query plan cache, the second replays
 it.  The two compiled cells pin both vector representations of the
@@ -61,6 +66,10 @@ class CellOutcome:
     rows: list[tuple] | None
     error: str | None = None  # error class name; "crash:<Type>" for non-Repro
     message: str = ""
+    #: Scan accounting, compared exactly between parallel cells and
+    #: their serial counterparts (fragment metric merging must be
+    #: lossless, not just row-equivalent).
+    bytes_scanned: float | None = None
 
     @property
     def signature(self) -> str:
@@ -104,12 +113,25 @@ def canonical_rows(rows: list[tuple]) -> list[tuple]:
 class DifferentialOracle:
     """Runs queries across the full config matrix against one store."""
 
-    def __init__(self, store: Store, batch_rows: int = 128, analysis: bool = True):
+    def __init__(
+        self,
+        store: Store,
+        batch_rows: int = 128,
+        analysis: bool = True,
+        worker_counts: tuple[int, ...] = (),
+    ):
         self.store = store
         self.batch_rows = batch_rows
         #: When set, every successful cell also checks its rows against
         #: the static column facts derived from its optimized plan.
         self.analysis = analysis
+        #: Extra parallel-execution cells: for each ``n > 1`` the batch
+        #: engine re-runs every query at ``workers=n`` (fusion on/off ×
+        #: cold/warm), sharing one persistent worker pool per count so
+        #: the fork cost amortizes across the whole campaign.  Rows and
+        #: ``bytes_scanned`` must match the serial cells exactly.
+        self.worker_counts = tuple(n for n in worker_counts if n > 1)
+        self._pools: dict[int, object] = {}
         #: Status of the most recent ``check`` call: "ok", "benign" (a
         #: uniform parse/bind error), or "divergence".  Drivers read it
         #: for reporting; it carries no oracle state.
@@ -141,6 +163,29 @@ class DifferentialOracle:
             **overrides,
         )
 
+    def _pool(self, workers: int):
+        """The shared persistent worker pool for ``workers`` (created
+        on first use, closed by :meth:`close`)."""
+        pool = self._pools.get(workers)
+        if pool is None:
+            from repro.engine.parallel import WorkerPool
+
+            pool = WorkerPool(self.store, workers)
+            self._pools[workers] = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the shared worker pools (idempotent)."""
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
+
+    def __enter__(self) -> "DifferentialOracle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _run_once(self, session: Session, sql: str) -> CellOutcome:
         try:
             result = session.execute(sql)
@@ -154,7 +199,10 @@ class DifferentialOracle:
                         error="AnalysisViolation",
                         message="; ".join(violations),
                     )
-            return CellOutcome(rows=canonical_rows(result.rows))
+            return CellOutcome(
+                rows=canonical_rows(result.rows),
+                bytes_scanned=result.metrics.bytes_scanned,
+            )
         except (SqlSyntaxError, BindingError) as exc:
             return CellOutcome(None, error=type(exc).__name__, message=str(exc))
         except ReproError as exc:
@@ -169,12 +217,28 @@ class DifferentialOracle:
     # -- the matrix --------------------------------------------------------
 
     def run_matrix(self, sql: str) -> dict[str, CellOutcome]:
-        """All cells for one query (sixteen; twelve without NumPy)."""
+        """All cells for one query (sixteen; twelve without NumPy),
+        plus four parallel cells per entry in ``worker_counts``."""
         outcomes: dict[str, CellOutcome] = {}
         for engine, overrides in self._engines():
             for fusion in (False, True):
                 session = Session(self.store, self._config(overrides, fusion))
                 label = f"{engine}/{'fusion' if fusion else 'baseline'}"
+                outcomes[f"{label}/cold"] = self._run_once(session, sql)
+                outcomes[f"{label}/warm"] = self._run_once(session, sql)
+        for workers in self.worker_counts:
+            overrides = {
+                "engine": "batch",
+                "workers": workers,
+                "cache_shards": 4,
+            }
+            for fusion in (False, True):
+                session = Session(
+                    self.store,
+                    self._config(overrides, fusion),
+                    worker_pool=self._pool(workers),
+                )
+                label = f"batch-w{workers}/{'fusion' if fusion else 'baseline'}"
                 outcomes[f"{label}/cold"] = self._run_once(session, sql)
                 outcomes[f"{label}/warm"] = self._run_once(session, sql)
         return outcomes
@@ -231,6 +295,27 @@ class DifferentialOracle:
                     c: f"{len(o.rows)} rows" for c, o in outcomes.items()
                 }
                 return Divergence(sql, "rows", detail, cells)
+        for workers in self.worker_counts:
+            # Fragment metric merging must be lossless: a parallel cell
+            # that scans more (or fewer) bytes than its serial twin has
+            # broken exact accounting even if the rows agree.
+            for variant in ("baseline", "fusion"):
+                for phase in ("cold", "warm"):
+                    serial = outcomes[f"batch/{variant}/{phase}"]
+                    par = outcomes[f"batch-w{workers}/{variant}/{phase}"]
+                    if par.bytes_scanned != serial.bytes_scanned:
+                        self.last_status = "divergence"
+                        return Divergence(
+                            sql,
+                            "rows",
+                            f"batch-w{workers}/{variant}/{phase} scanned "
+                            f"{par.bytes_scanned} bytes vs serial "
+                            f"{serial.bytes_scanned}",
+                            {
+                                c: f"{o.bytes_scanned} bytes"
+                                for c, o in outcomes.items()
+                            },
+                        )
         return None
 
 

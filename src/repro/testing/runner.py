@@ -89,6 +89,7 @@ def run_fuzz(
     minimize_failures: bool = True,
     fail_fast: bool = False,
     analysis: bool = True,
+    workers: tuple[int, ...] = (),
     progress: Callable[[int, "FuzzReport"], None] | None = None,
 ) -> FuzzReport:
     """Run ``count`` seeded queries through the differential oracle.
@@ -97,41 +98,46 @@ def run_fuzz(
     otherwise one is generated at ``scale`` with ``data_seed``.
     ``analysis`` arms the static-facts runtime check in every cell
     (see :class:`~repro.testing.oracle.DifferentialOracle`).
+    ``workers`` adds parallel-execution cells to the matrix: each
+    count > 1 re-runs every query on the batch engine at ``workers=n``
+    against one shared fragment worker pool.
     """
     if store is None:
         store = generate_dataset(scale=scale, seed=data_seed)
     catalog = Catalog()
     store.load_catalog(catalog)
     generator = QueryGenerator(catalog, seed=seed)
-    oracle = DifferentialOracle(store, analysis=analysis)
     report = FuzzReport(seed=seed, count=count)
 
-    for index in range(count):
-        spec = generator.generate()
-        divergence = oracle.check(spec.render())
-        report.executed += 1
-        if divergence is None:
-            if oracle.last_status == "benign":
-                report.benign[oracle.last_error_class] += 1
+    with DifferentialOracle(
+        store, analysis=analysis, worker_counts=tuple(workers)
+    ) as oracle:
+        for index in range(count):
+            spec = generator.generate()
+            divergence = oracle.check(spec.render())
+            report.executed += 1
+            if divergence is None:
+                if oracle.last_status == "benign":
+                    report.benign[oracle.last_error_class] += 1
+                else:
+                    report.passed += 1
             else:
-                report.passed += 1
-        else:
-            minimized = spec
-            if minimize_failures:
-                minimized = minimize(spec, _same_kind(oracle, divergence))
-            report.failures.append(
-                FuzzFailure(
-                    index=index,
-                    kind=divergence.kind,
-                    detail=divergence.detail,
-                    sql=spec.render(),
-                    minimized_sql=minimized.render(),
+                minimized = spec
+                if minimize_failures:
+                    minimized = minimize(spec, _same_kind(oracle, divergence))
+                report.failures.append(
+                    FuzzFailure(
+                        index=index,
+                        kind=divergence.kind,
+                        detail=divergence.detail,
+                        sql=spec.render(),
+                        minimized_sql=minimized.render(),
+                    )
                 )
-            )
-            if fail_fast:
-                break
-        if progress is not None:
-            progress(index + 1, report)
+                if fail_fast:
+                    break
+            if progress is not None:
+                progress(index + 1, report)
     return report
 
 

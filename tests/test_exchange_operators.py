@@ -1,0 +1,237 @@
+"""Exchange/Repartition plan operators and the ParallelPlan pass.
+
+The operators are bag-identity placement markers: serial engines
+execute them as pass-throughs, the validator checks their structure,
+and the semantic fingerprint looks straight through them (so parallel
+plans share cross-query cache entries with serial ones).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra.expressions import ColumnRef, Comparison, integer
+from repro.algebra.fingerprint import plan_fingerprint
+from repro.algebra.operators import (
+    AggregateAssignment,
+    Exchange,
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    Limit,
+    PlanNode,
+    Repartition,
+    Scan,
+    Sort,
+    SortKey,
+    referenced_columns,
+)
+from repro.algebra.printer import explain
+from repro.algebra.schema import Column
+from repro.algebra.types import DataType
+from repro.algebra.validator import validate_plan
+from repro.algebra.visitors import walk_plan
+from repro.engine.batch_executor import execute_batch
+from repro.engine.compiled import execute_compiled
+from repro.engine.executor import execute
+from repro.engine.metrics import RunContext
+from repro.errors import PlanError
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.context import OptimizerContext
+from repro.optimizer.parallel_plan import ParallelPlan
+from tests.conftest import simple_table
+
+I = DataType.INTEGER
+
+
+def _scan(table: str = "t", start: int = 1) -> Scan:
+    columns = (Column(start, "k", I), Column(start + 1, "v", I))
+    return Scan(table, columns, ("k", "v"))
+
+
+# -- operator structure ------------------------------------------------------
+
+
+def test_exchange_is_schema_transparent():
+    scan = _scan()
+    exchange = Exchange(scan, 1)
+    assert exchange.output_columns == scan.output_columns
+    assert exchange.children == (scan,)
+    other = _scan(start=5)
+    assert exchange.with_children((other,)) == Exchange(other, 1)
+
+
+def test_repartition_keys_are_referenced_columns():
+    scan = _scan()
+    repart = Repartition(scan, (scan.output_columns[0],), 1)
+    assert repart.output_columns == scan.output_columns
+    assert referenced_columns(repart) == {scan.output_columns[0]}
+
+
+def test_validator_accepts_well_formed_placement():
+    scan = _scan()
+    plan = Exchange(Repartition(scan, (scan.output_columns[0],), 1), 2)
+    validate_plan(plan)
+
+
+def test_validator_rejects_foreign_repartition_key():
+    scan = _scan()
+    foreign = Column(99, "elsewhere", I)
+    with pytest.raises(PlanError, match="not produced by its children"):
+        validate_plan(Repartition(scan, (foreign,), 1))
+
+
+def test_validator_rejects_keyless_repartition():
+    with pytest.raises(PlanError, match="at least one key"):
+        validate_plan(Repartition(_scan(), (), 1))
+
+
+def test_printer_describes_placement_operators():
+    scan = _scan()
+    text = explain(Exchange(Repartition(scan, (scan.output_columns[0],), 7), 8))
+    assert "Exchange[#8]" in text
+    assert "Repartition[#7 on (" in text
+
+
+def test_fingerprint_ignores_placement_operators():
+    scan = _scan()
+    wrapped = Exchange(Repartition(scan, (scan.output_columns[0],), 1), 2)
+    assert plan_fingerprint(wrapped).digest == plan_fingerprint(scan).digest
+
+
+# -- serial pass-through execution ------------------------------------------
+
+
+@pytest.fixture()
+def kv_store():
+    from repro.storage.columnar import Store
+
+    store = Store()
+    rows = [(i % 3, i) for i in range(10)]
+    store.put(simple_table("t", [("k", I), ("v", I)], rows))
+    return store
+
+
+def _bound_plan(store) -> PlanNode:
+    """Exchange(Repartition(Filter(Scan))) over the real stored table,
+    bound through the catalog so cids match stored columns."""
+    from repro.catalog.catalog import Catalog
+    from repro.sql.binder import Binder
+
+    catalog = Catalog()
+    store.load_catalog(catalog)
+    bound = Binder(catalog).bind_sql("SELECT k, v FROM t WHERE v >= 2")
+    inner = bound.plan
+    while not isinstance(inner, Filter):  # peel the top-level Project
+        inner = inner.children[0]
+    key = inner.output_columns[0]
+    return Exchange(Repartition(inner, (key,), 1), 2)
+
+
+def test_serial_engines_execute_placement_as_passthrough(kv_store):
+    plan = _bound_plan(kv_store)
+    expected = [(i % 3, i) for i in range(2, 10)]
+    assert list(execute(plan, RunContext(kv_store))) == expected
+    assert (
+        list(execute_batch(plan, RunContext(kv_store), block_rows=3)) == expected
+    )
+    assert (
+        list(execute_compiled(plan, RunContext(kv_store), block_rows=3))
+        == expected
+    )
+
+
+# -- the ParallelPlan pass ---------------------------------------------------
+
+
+def _ctx(partition_counts=None) -> OptimizerContext:
+    from repro.catalog.catalog import Catalog
+
+    return OptimizerContext(
+        Catalog(), OptimizerConfig(workers=4), partition_counts=partition_counts
+    )
+
+
+def _agg(scan: Scan, *, keys: tuple[Column, ...]) -> GroupBy:
+    target = Column(50, "n", I)
+    return GroupBy(
+        scan, keys, (AggregateAssignment(target, "count", None),)
+    )
+
+
+def test_keyed_group_by_becomes_shuffle(tpcds_store):
+    scan = _scan("store_sales")
+    plan = _agg(scan, keys=(scan.output_columns[0],))
+    result = ParallelPlan().run(plan, _ctx({"store_sales": 8}))
+    assert isinstance(result, Exchange)
+    assert isinstance(result.child, GroupBy)
+    assert isinstance(result.child.child, Repartition)
+    assert result.child.child.keys == (scan.output_columns[0],)
+
+
+def test_scalar_group_by_keeps_aggregation_serial():
+    plan = _agg(_scan(), keys=())
+    result = ParallelPlan().run(plan, _ctx({"t": 4}))
+    assert isinstance(result, GroupBy)  # aggregation stays on top
+    assert isinstance(result.child, Exchange)
+
+
+def test_single_partition_tables_stay_serial():
+    plan = _agg(_scan(), keys=())
+    result = ParallelPlan().run(plan, _ctx({"t": 1}))
+    assert result is plan
+    assert not any(isinstance(n, Exchange) for n in walk_plan(result))
+
+
+def test_equi_join_becomes_shuffle_join():
+    left, right = _scan("a"), _scan("b", start=10)
+    condition = Comparison(
+        "=", ColumnRef(left.output_columns[0]), ColumnRef(right.output_columns[0])
+    )
+    join = Join(JoinKind.INNER, left, right, condition)
+    result = ParallelPlan().run(join, _ctx({"a": 4, "b": 4}))
+    assert isinstance(result, Exchange)
+    assert isinstance(result.child, Join)
+    assert isinstance(result.child.left, Repartition)
+    assert isinstance(result.child.right, Repartition)
+    assert result.child.left.keys == (left.output_columns[0],)
+    assert result.child.right.keys == (right.output_columns[0],)
+
+
+def test_cross_join_is_not_shuffled():
+    left, right = _scan("a"), _scan("b", start=10)
+    join = Join(JoinKind.CROSS, left, right, None)
+    result = ParallelPlan().run(join, _ctx({"a": 4, "b": 4}))
+    # The children still parallelize as plain gathers; the join itself
+    # has no keys to route on.
+    assert not isinstance(result, Exchange)
+    assert isinstance(result.left, Exchange)
+
+
+def test_limit_keeps_demanded_subtree_serial():
+    scan = _scan()
+    plan = Limit(scan, 3)
+    result = ParallelPlan().run(plan, _ctx({"t": 4}))
+    # Early termination in the serial engine scans less than a full
+    # parallel gather would: exact bytes_scanned equivalence forbids an
+    # Exchange under a streaming Limit.
+    assert result is plan
+
+
+def test_blocking_operator_restores_parallelism_under_limit():
+    scan = _scan()
+    sort = Sort(scan, (SortKey(ColumnRef(scan.output_columns[1])),))
+    plan = Limit(sort, 3)
+    result = ParallelPlan().run(plan, _ctx({"t": 4}))
+    # Sort drains its input fully regardless of the Limit above it, so
+    # the pipeline below the Sort may still parallelize.
+    assert isinstance(result, Limit)
+    assert isinstance(result.child.children[0], Exchange)
+
+
+def test_keyed_group_by_is_safe_under_limit():
+    scan = _scan()
+    plan = Limit(_agg(scan, keys=(scan.output_columns[0],)), 2)
+    result = ParallelPlan().run(plan, _ctx({"t": 4}))
+    assert isinstance(result.child, Exchange)

@@ -1,0 +1,165 @@
+"""ShardedPlanCache: fingerprint-routed shards with per-shard locking
+(repro.engine.plan_cache).  Must be duck-compatible with PlanCache —
+the session, executors, and reuse pass never know which they hold."""
+
+from __future__ import annotations
+
+import threading
+from zlib import crc32
+
+import pytest
+
+from repro.engine.plan_cache import CacheEntry, PlanCache, ShardedPlanCache
+from repro.engine.session import Session
+from repro.optimizer.config import OptimizerConfig
+
+
+def _entry(
+    fingerprint: str,
+    nbytes: float = 100.0,
+    tables: tuple[str, ...] = (),
+) -> CacheEntry:
+    return CacheEntry(
+        fingerprint=fingerprint,
+        columns={"tok": [1, 2, 3]},
+        row_count=3,
+        nbytes=nbytes,
+        tables=frozenset(tables),
+        table_versions=(),
+        saved_bytes=0.0,
+    )
+
+
+def test_routing_is_by_fingerprint_crc():
+    cache = ShardedPlanCache(budget_bytes=4000, shards=4)
+    for i in range(20):
+        assert cache.put(_entry(f"fp{i}"))
+    for i in range(20):
+        fp = f"fp{i}"
+        shard = cache.shards[crc32(fp.encode()) % 4]
+        assert fp in shard
+    assert len(cache) == 20
+
+
+def test_duck_compatible_roundtrip():
+    cache = ShardedPlanCache(budget_bytes=4000, shards=4)
+    assert cache.put(_entry("a"))
+    assert not cache.put(_entry("a"))  # duplicate refused like PlanCache
+    assert "a" in cache and cache.has("a")
+    assert cache.lookup("a") is not None
+    assert cache.replay("a") is not None
+    assert cache.lookup("missing") is None
+    assert cache.bytes_used == 100.0
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert cache.stats.replays == 1
+    assert len(cache.entries()) == 1
+    assert cache.evict("a") and not cache.evict("a")
+    assert "shards=4" in ShardedPlanCache(shards=4).summary()
+
+
+def test_budget_splits_evenly_across_shards():
+    cache = ShardedPlanCache(budget_bytes=400, shards=4)
+    assert all(shard.budget_bytes == 100.0 for shard in cache.shards)
+    # An entry larger than one shard's slice is rejected even though it
+    # fits the global budget — the documented per-shard semantics.
+    assert not cache.put(_entry("big", nbytes=150.0))
+    assert cache.put(_entry("small", nbytes=90.0))
+
+
+def test_invalidate_table_sweeps_all_shards():
+    cache = ShardedPlanCache(budget_bytes=4000, shards=4)
+    for i in range(12):
+        assert cache.put(_entry(f"fp{i}", tables=("orders",)))
+    assert cache.put(_entry("other", tables=("people",)))
+    assert cache.invalidate_table("orders") == 12
+    assert len(cache) == 1 and "other" in cache
+
+
+def test_pins_and_clear_cover_every_shard():
+    cache = ShardedPlanCache(budget_bytes=4000, shards=4)
+    for i in range(8):
+        cache.put(_entry(f"fp{i}"))
+        cache.lookup(f"fp{i}", pin=True)
+    cache.release_pins()
+    cache.clear()
+    assert len(cache) == 0 and cache.bytes_used == 0.0
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ShardedPlanCache(shards=0)
+    with pytest.raises(ValueError):
+        ShardedPlanCache(budget_bytes=0)
+
+
+def test_concurrent_put_and_replay_are_safe():
+    cache = ShardedPlanCache(budget_bytes=1_000_000, shards=4)
+    errors: list[Exception] = []
+
+    def worker(base: int) -> None:
+        try:
+            for i in range(200):
+                fp = f"fp{base}-{i}"
+                cache.put(_entry(fp, nbytes=10.0))
+                assert cache.replay(fp) is not None
+        except Exception as exc:  # pragma: no cover - the assertion
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(cache) == 800
+
+
+def test_session_selects_cache_kind_from_config(tpcds_store):
+    plain = Session(
+        tpcds_store, OptimizerConfig(enable_plan_cache=True, cache_shards=1)
+    )
+    assert isinstance(plain.plan_cache, PlanCache)
+    sharded = Session(
+        tpcds_store, OptimizerConfig(enable_plan_cache=True, cache_shards=4)
+    )
+    assert isinstance(sharded.plan_cache, ShardedPlanCache)
+    assert sharded.plan_cache.shard_count == 4
+
+
+def test_warm_replay_through_sharded_cache(tpcds_store):
+    """Cross-query reuse works identically through the sharded cache:
+    the warm run replays instead of rescanning."""
+    sql = (
+        "SELECT ss_store_sk, sum(ss_net_profit) FROM store_sales "
+        "GROUP BY ss_store_sk"
+    )
+    config = OptimizerConfig(enable_plan_cache=True, cache_shards=4)
+    with Session(tpcds_store, config) as session:
+        cold = session.execute(sql)
+        warm = session.execute(sql)
+    assert warm.rows == cold.rows
+    assert warm.metrics.cache_hits > 0
+    assert warm.metrics.bytes_scanned < cold.metrics.bytes_scanned
+
+
+def test_parallel_session_shares_entries_with_serial(tpcds_store):
+    """Fingerprints are transparent through Exchange/Repartition, so a
+    parallel session's populate is replayable by its own warm run at
+    the same fingerprint a serial plan would produce."""
+    sql = (
+        "SELECT ss_store_sk, count(*) FROM store_sales GROUP BY ss_store_sk"
+    )
+    config = OptimizerConfig(
+        enable_plan_cache=True, cache_shards=4, workers=2, engine="batch"
+    )
+    with Session(tpcds_store, config) as parallel_session:
+        cold = parallel_session.execute(sql)
+        warm = parallel_session.execute(sql)
+    with Session(
+        tpcds_store, OptimizerConfig(enable_plan_cache=True, engine="batch")
+    ) as serial_session:
+        serial_cold = serial_session.execute(sql)
+    assert cold.rows == serial_cold.rows
+    assert warm.rows == cold.rows
+    assert warm.metrics.cache_hits > 0
+    assert cold.metrics.bytes_scanned == serial_cold.metrics.bytes_scanned
