@@ -38,6 +38,7 @@ representation never leaks into code that doesn't know about it.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Iterator
 
@@ -238,16 +239,21 @@ def _pipeline_label(pipeline: _Pipeline) -> str:
 #: code object; the expression closures arrive via the consts tuple.
 _CODE_CACHE: dict[str, object] = {}
 _CODE_CACHE_MAX = 512
+#: One lock for both process-wide kernel caches: concurrent server
+#: threads compile pipelines simultaneously, and the LRU evict-oldest
+#: sequences are not atomic under threads.
+_KERNEL_CACHES_LOCK = threading.Lock()
 
 
 def _kernel_code(source_text: str):
-    code = _CODE_CACHE.pop(source_text, None)
-    if code is None:
-        code = compile(source_text, "<pipeline-kernel>", "exec")
-        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
-            del _CODE_CACHE[next(iter(_CODE_CACHE))]
-    _CODE_CACHE[source_text] = code
-    return code
+    with _KERNEL_CACHES_LOCK:
+        code = _CODE_CACHE.pop(source_text, None)
+        if code is None:
+            code = compile(source_text, "<pipeline-kernel>", "exec")
+            if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+                del _CODE_CACHE[next(iter(_CODE_CACHE))]
+        _CODE_CACHE[source_text] = code
+        return code
 
 
 def _emit_aggs(accs, width: int) -> Block:
@@ -272,7 +278,8 @@ def _run_pipeline(
     key = (id(pipeline.root), mode)
     cached = ctx.kernel_cache.get(key)
     if cached is None:
-        entry = _KERNEL_CACHE.get(key)
+        with _KERNEL_CACHES_LOCK:
+            entry = _KERNEL_CACHE.get(key)
         if entry is not None and entry[0]() is pipeline.root:
             cached = (
                 entry[1],
@@ -283,15 +290,16 @@ def _run_pipeline(
             cached, cacheable = _build_kernel(pipeline, ctx, block_rows, mode)
             ctx.metrics.pipelines_compiled += 1
             if cacheable:
-                if len(_KERNEL_CACHE) >= _KERNEL_CACHE_MAX:
-                    _KERNEL_CACHE.pop(next(iter(_KERNEL_CACHE)))
-                # The callback binds the dict itself: module globals
-                # may already be torn down when late weakrefs die.
-                ref = weakref.ref(
-                    pipeline.root,
-                    lambda _, k=key, cache=_KERNEL_CACHE: cache.pop(k, None),
-                )
-                _KERNEL_CACHE[key] = (ref, cached[0], cached[1])
+                with _KERNEL_CACHES_LOCK:
+                    if len(_KERNEL_CACHE) >= _KERNEL_CACHE_MAX:
+                        _KERNEL_CACHE.pop(next(iter(_KERNEL_CACHE)))
+                    # The callback binds the dict itself: module globals
+                    # may already be torn down when late weakrefs die.
+                    ref = weakref.ref(
+                        pipeline.root,
+                        lambda _, k=key, cache=_KERNEL_CACHE: cache.pop(k, None),
+                    )
+                    _KERNEL_CACHE[key] = (ref, cached[0], cached[1])
         ctx.kernel_cache[key] = cached
     kernel_fn, consts, make_source = cached
     return kernel_fn(make_source(), consts, ctx)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 from typing import Callable
 
 from repro.algebra.expressions import (
@@ -45,20 +46,25 @@ def column_indexes(columns: tuple[Column, ...]) -> dict[int, int]:
 # Compiled LIKE patterns are shared process-wide.  The cache is a
 # small LRU (dicts preserve insertion order; a hit reinserts the key)
 # so a long-lived session evaluating many distinct patterns cannot grow
-# it without bound.
+# it without bound.  Locked: concurrent server queries share it, and
+# the evict-oldest sequence is not atomic under threads.
 _LIKE_CACHE: dict[str, re.Pattern] = {}
 _LIKE_CACHE_MAX = 256
+_LIKE_CACHE_LOCK = threading.Lock()
 
 
 def _like_pattern(pattern: str) -> re.Pattern:
-    try:
-        compiled = _LIKE_CACHE.pop(pattern)
-    except KeyError:
-        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
-        compiled = re.compile(f"^{regex}$", re.DOTALL)
-        if len(_LIKE_CACHE) >= _LIKE_CACHE_MAX:
+    with _LIKE_CACHE_LOCK:
+        compiled = _LIKE_CACHE.pop(pattern, None)
+        if compiled is not None:
+            _LIKE_CACHE[pattern] = compiled
+            return compiled
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    compiled = re.compile(f"^{regex}$", re.DOTALL)
+    with _LIKE_CACHE_LOCK:
+        if pattern not in _LIKE_CACHE and len(_LIKE_CACHE) >= _LIKE_CACHE_MAX:
             del _LIKE_CACHE[next(iter(_LIKE_CACHE))]
-    _LIKE_CACHE[pattern] = compiled
+        _LIKE_CACHE[pattern] = compiled
     return compiled
 
 
@@ -331,9 +337,11 @@ def env_free(expr: Expression, columns) -> bool:
 
 #: Compiled batch closures for env-free expressions, shared across
 #: executions: a prepared plan re-run under a fresh context skips the
-#: compile tree-walks entirely.  Bounded LRU, like ``_LIKE_CACHE``.
+#: compile tree-walks entirely.  Bounded LRU, like ``_LIKE_CACHE``
+#: (and locked for the same reason).
 _BATCH_MEMO: dict[tuple, "BatchFn"] = {}
 _BATCH_MEMO_MAX = 2048
+_BATCH_MEMO_LOCK = threading.Lock()
 
 
 def compile_expression_batch(
@@ -352,15 +360,17 @@ def compile_expression_batch(
     if type(columns) is not tuple:
         columns = tuple(columns)
     key = (expr, columns)
-    fn = _BATCH_MEMO.pop(key, None)
-    if fn is not None:
-        _BATCH_MEMO[key] = fn  # LRU reinsertion
-        return fn
+    with _BATCH_MEMO_LOCK:
+        fn = _BATCH_MEMO.pop(key, None)
+        if fn is not None:
+            _BATCH_MEMO[key] = fn  # LRU reinsertion
+            return fn
     fn = _compile_expression_batch(expr, columns, env)
     if env_free(expr, columns):
-        if len(_BATCH_MEMO) >= _BATCH_MEMO_MAX:
-            del _BATCH_MEMO[next(iter(_BATCH_MEMO))]
-        _BATCH_MEMO[key] = fn
+        with _BATCH_MEMO_LOCK:
+            if key not in _BATCH_MEMO and len(_BATCH_MEMO) >= _BATCH_MEMO_MAX:
+                del _BATCH_MEMO[next(iter(_BATCH_MEMO))]
+            _BATCH_MEMO[key] = fn
     return fn
 
 

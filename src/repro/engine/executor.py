@@ -216,27 +216,99 @@ def _run_cached_scan(plan: CachedScan, ctx: RunContext) -> Iterator[Row]:
         yield from ((),) * entry.row_count
 
 
+#: Upper bound (seconds) a follower waits for an in-flight leader
+#: before giving up and executing the subplan itself — shared execution
+#: degrades to independent execution, never to a hang.
+_SHARED_WAIT_CAP_S = 30.0
+
+#: Follower poll interval: bounds cancellation/deadline latency while
+#: waiting on a leader.
+_SHARED_POLL_S = 0.01
+
+
+def _await_inflight(execution, ctx: RunContext):
+    """Block (checkpoint-aware) until the leader publishes its entry.
+
+    Returns the entry, or None when the leader failed or the wait
+    capped out; cancellation and the query deadline abort the wait the
+    same way they abort a scan.
+    """
+    cap_s = _SHARED_WAIT_CAP_S
+    remaining = ctx.deadline_remaining_ms
+    if remaining is not None:
+        cap_s = min(cap_s, remaining / 1000.0)
+    give_up_at = ctx.clock() + cap_s
+    while True:
+        if execution.ready.wait(_SHARED_POLL_S):
+            return execution.entry
+        ctx.checkpoint()
+        if ctx.clock() > give_up_at:
+            return None
+
+
+def _replay_inflight_entry(plan: CachePopulate, ctx: RunContext, entry) -> list[Row]:
+    """Materialize a follower's rows from the leader's published entry
+    (token-keyed vectors, so alpha-equivalent consumers reconstruct
+    their own column order)."""
+    ctx.metrics.shared_hits += 1
+    ctx.metrics.cache_bytes_saved += entry.saved_bytes
+    ctx.metrics.cache_replayed_rows += entry.row_count
+    vectors = [entry.columns[token] for token in plan.column_tokens]
+    if vectors:
+        return list(zip(*vectors))
+    return [()] * entry.row_count
+
+
 def _materialize_for_cache(plan: CachePopulate, ctx: RunContext, rows_of) -> list[Row]:
     """Drain the populate child with scan accounting teed into a local
     meter, admit the entry, and return the materialized rows.
 
     ``rows_of`` abstracts over the engines (row tuples either way).
+
+    Concurrent shared execution: when another query is populating the
+    same fingerprint *right now*, this query binds as a follower to
+    that single execution and replays the fanned-out entry instead of
+    re-scanning (zero bytes charged).  The leader publishes its entry
+    to followers directly, even when the byte-budgeted cache refuses to
+    admit it.
     """
     cache = ctx.plan_cache
-    meter = ScanAccounting()
-    ctx.push_accounting(TeeAccounting(ctx.accounting, meter))
+    registry = getattr(cache, "inflight", None)
+    execution = None
+    if registry is not None:
+        is_leader, execution = registry.claim(plan.fingerprint)
+        if not is_leader:
+            entry = _await_inflight(execution, ctx)
+            if entry is not None and all(
+                token in entry.columns for token in plan.column_tokens
+            ):
+                return _replay_inflight_entry(plan, ctx, entry)
+            # Leader failed or the wait capped out: execute locally,
+            # unregistered (a late re-claim could livelock behind a
+            # string of failing leaders).
+            execution = None
     try:
-        rows = rows_of()
-    finally:
-        ctx.pop_accounting()
-    _check_spool_budget(ctx, len(rows), "plan-cache population")
-    # Like a spool, the materialized result stays resident — but only
-    # if it was actually admitted to the cache.
-    ctx.state_add(len(rows))
-    if cache.put(entry_from_rows(plan, rows, meter.bytes_scanned)):
-        ctx.metrics.cache_populations += 1
-    else:
-        ctx.state_remove(len(rows))
+        meter = ScanAccounting()
+        ctx.push_accounting(TeeAccounting(ctx.accounting, meter))
+        try:
+            rows = rows_of()
+        finally:
+            ctx.pop_accounting()
+        _check_spool_budget(ctx, len(rows), "plan-cache population")
+        entry = entry_from_rows(plan, rows, meter.bytes_scanned)
+        # Like a spool, the materialized result stays resident — but
+        # only if it was actually admitted to the cache.
+        ctx.state_add(len(rows))
+        if cache.put(entry):
+            ctx.metrics.cache_populations += 1
+        else:
+            ctx.state_remove(len(rows))
+    except BaseException:
+        if execution is not None:
+            registry.fail(execution)
+        raise
+    if execution is not None and registry.publish(execution, entry):
+        ctx.metrics.shared_fanout += 1
     return rows
 
 

@@ -90,6 +90,24 @@ class QueryMetrics:
     #: Synthesized kernels statically verified by the kernel auditor
     #: (:mod:`repro.engine.kernel_audit`; armed via ``validate_plans``).
     kernels_audited: int = 0
+    #: Concurrent shared execution (DESIGN.md §14): subplans this query
+    #: did *not* execute because a fingerprint-equal execution was
+    #: already in flight — the query bound itself as a follower to the
+    #: leader's single execution and replayed the fanned-out result.
+    shared_hits: int = 0
+    #: Populations of this query that had followers bound to them when
+    #: they completed (the leader side of shared execution).
+    shared_fanout: int = 0
+    #: Graceful-degradation ladder (repro.server.degrade): the rungs
+    #: tried for this query, in order ("compiled+parallel", "batch",
+    #: ...), and one human-readable record per demotion
+    #: ("compiled->batch: KernelAuditError").  Empty when the query
+    #: succeeded on its first rung or ran outside the server.
+    ladder_path: list[str] = field(default_factory=list)
+    degradations: list[str] = field(default_factory=list)
+    #: Milliseconds the query waited in the service admission queue
+    #: before a worker thread picked it up (None outside the server).
+    queue_wait_ms: float | None = None
     #: Per-operator / per-pipeline cumulative wall time in seconds,
     #: keyed by a stable display label ("Scan(store_sales) #3",
     #: "Pipeline[Scan(item)→Filter→Project] #1").  Populated only when
@@ -131,6 +149,13 @@ class QueryMetrics:
             text += f" deadline_left={self.deadline_remaining_ms:.0f}ms"
         if self.pipelines_compiled:
             text += f" pipelines_compiled={self.pipelines_compiled}"
+        if self.shared_hits or self.shared_fanout:
+            text += (
+                f" shared_hits={self.shared_hits}"
+                f" shared_fanout={self.shared_fanout}"
+            )
+        if self.degradations:
+            text += f" degradations={len(self.degradations)}"
         return text
 
     def profile_report(self) -> str:

@@ -56,6 +56,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import queue as queue_module
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -87,6 +88,9 @@ _MORSELS_PER_WORKER = 4
 
 #: Scheduler poll interval (seconds) — bounds cancellation latency.
 _POLL_S = 0.02
+
+#: How often each worker's beat thread refreshes its heartbeat cell.
+_BEAT_INTERVAL_S = 0.05
 
 
 class WorkerPoisonedError(Exception):
@@ -188,8 +192,19 @@ def _run_task(spec: _TaskSpec, store, cancel_event):
     }
 
 
-def _worker_main(worker_id, store, tasks, results, cancel_event, poisoned):
+def _worker_main(worker_id, store, tasks, results, cancel_event, poisoned, heartbeat):
     """Worker process loop: steal tasks until the ``None`` sentinel."""
+    if heartbeat is not None:
+        # The beat thread keeps ticking while a task executes (the GIL
+        # switches between threads), so a *silent* heartbeat means the
+        # whole process is frozen — SIGSTOP, a C-level hang, or a
+        # scheduler pathology — not merely a slow fragment.
+        def _beat():
+            while True:
+                heartbeat.value = time.time()
+                time.sleep(_BEAT_INTERVAL_S)
+
+        threading.Thread(target=_beat, daemon=True).start()
     while True:
         task = tasks.get()
         if task is None:
@@ -232,9 +247,28 @@ class WorkerPool:
     sessions with different fault/latency settings can share a pool.
     ``poison_worker`` marks the n-th spawned worker as permanently
     failing — the test hook behind the fragment-retry tests.
+
+    Self-healing (DESIGN.md §14): every worker publishes a heartbeat
+    into a shared cell from a dedicated beat thread.  ``health_check``
+    kills workers whose heartbeat has gone silent (the process is
+    frozen, not slow) and respawns replacements for every dead worker;
+    if the whole pool was lost at once it falls back to ``rebuild``,
+    which also replaces the task/result queues — a worker SIGKILLed
+    mid-``put`` can leave a queue's feeder lock held forever, so after
+    a wipeout the old queues are untrustworthy.  ``generation`` counts
+    rebuilds; the scheduler uses it to know that queued-but-unstarted
+    task specs were discarded with the old queue and must be
+    resubmitted.  ``query_lock`` serializes *queries* (epochs) on the
+    pool — fragments within one query still run concurrently.
     """
 
-    def __init__(self, store, workers: int, poison_worker: int | None = None):
+    def __init__(
+        self,
+        store,
+        workers: int,
+        poison_worker: int | None = None,
+        heartbeat_timeout_s: float = 2.0,
+    ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         methods = multiprocessing.get_all_start_methods()
@@ -243,20 +277,36 @@ class WorkerPool:
         )
         self.store = store
         self.size = workers
+        self.heartbeat_timeout_s = heartbeat_timeout_s
         self._poison = poison_worker
         self._tasks = self._mp.Queue()
         self._results = self._mp.Queue()
         self.cancel_event = self._mp.Event()
         self._procs: dict[int, object] = {}
+        self._beats: dict[int, object] = {}
         self._spawned = 0
         self._epoch = 0
         self._closed = False
+        #: Concurrent parallel queries would collide on the shared
+        #: result queue and epoch counter; holders run one at a time.
+        self.query_lock = threading.Lock()
+        #: Serializes health_check/reap/rebuild: the service's
+        #: maintenance thread and the scheduler both nurse the pool.
+        self._maint_lock = threading.Lock()
+        #: Bumped by ``rebuild`` — queued task specs from an earlier
+        #: generation died with the old task queue.
+        self.generation = 0
+        #: Lifetime health counters (read by the query service).
+        self.respawns = 0
+        self.rebuilds = 0
+        self.hung_workers_killed = 0
         for _ in range(workers):
             self._spawn()
 
     def _spawn(self) -> int:
         worker_id = self._spawned
         self._spawned += 1
+        beat = self._mp.Value("d", time.time())
         proc = self._mp.Process(
             target=_worker_main,
             args=(
@@ -266,11 +316,13 @@ class WorkerPool:
                 self._results,
                 self.cancel_event,
                 self._poison == worker_id,
+                beat,
             ),
             daemon=True,
         )
         proc.start()
         self._procs[worker_id] = proc
+        self._beats[worker_id] = beat
         return worker_id
 
     def new_epoch(self) -> int:
@@ -292,11 +344,105 @@ class WorkerPool:
 
     def reap(self) -> list[int]:
         """Collect dead workers, respawn replacements, return their ids."""
+        with self._maint_lock:
+            return self._reap_locked()
+
+    def _reap_locked(self) -> list[int]:
         dead = [wid for wid, proc in self._procs.items() if not proc.is_alive()]
         for wid in dead:
             self._procs.pop(wid)
+            self._beats.pop(wid, None)
             self._spawn()
+            self.respawns += 1
         return dead
+
+    def health_check(self) -> list[int]:
+        """Kill frozen workers, respawn every dead one; returns the ids
+        of workers that were replaced.
+
+        A worker is *frozen* when it is alive but its heartbeat is more
+        than ``heartbeat_timeout_s`` old — the beat thread survives slow
+        fragments, so silence means the whole process is stuck.  When
+        the check loses the entire pool at once it rebuilds queues too
+        (see ``rebuild``).
+        """
+        if self._closed:
+            return []
+        with self._maint_lock:
+            now = time.time()
+            hung = []
+            for wid, proc in list(self._procs.items()):
+                beat = self._beats.get(wid)
+                if (
+                    proc.is_alive()
+                    and beat is not None
+                    and now - beat.value > self.heartbeat_timeout_s
+                ):
+                    proc.kill()
+                    proc.join(timeout=5.0)
+                    hung.append(wid)
+            self.hung_workers_killed += len(hung)
+            dead = set(hung) | {
+                wid for wid, proc in self._procs.items() if not proc.is_alive()
+            }
+            # Any death taints the shared queues: a worker SIGKILLed
+            # mid-``put`` dies holding the queue's cross-process lock,
+            # after which every *surviving* worker blocks forever on
+            # its next result (alive, heartbeating, making no
+            # progress).  There is no portable way to tell a clean
+            # death from a wedging one, so rebuild unconditionally —
+            # deaths are rare and morsel granularity keeps the lost
+            # work small.
+            if dead:
+                self._rebuild_locked()
+            return sorted(dead)
+
+    def rebuild(self) -> None:
+        """Replace every worker *and* both queues in place.
+
+        The heavy-hammer recovery: after a pool wipeout the old queues
+        may be wedged (a worker killed mid-``put`` leaves the feeder
+        lock held), so respawning workers onto them could hang forever.
+        Task specs queued in the old generation are lost — callers must
+        resubmit all unfinished work (``generation`` tells them to).
+        """
+        if self._closed:
+            return
+        with self._maint_lock:
+            self._rebuild_locked()
+
+    def _rebuild_locked(self) -> None:
+        for proc in self._procs.values():
+            proc.kill()
+        for proc in self._procs.values():
+            proc.join(timeout=5.0)
+        self._procs.clear()
+        self._beats.clear()
+        # The old queues are abandoned, not closed: a concurrent
+        # scheduler may still be blocked in ``get`` on them (it will
+        # time out and notice the generation bump), and their feeder
+        # threads are daemons, so leaking them is safe while closing
+        # them under a reader is not.
+        for old in (self._tasks, self._results):
+            try:
+                old.cancel_join_thread()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        self._tasks = self._mp.Queue()
+        self._results = self._mp.Queue()
+        self.generation += 1
+        self.rebuilds += 1
+        for _ in range(self.size):
+            self._spawn()
+
+    def worker_pids(self) -> dict[int, int]:
+        """Live worker ids to OS pids (chaos tests SIGKILL these)."""
+        with self._maint_lock:
+            return {
+                wid: proc.pid
+                for wid, proc in self._procs.items()
+                if proc.is_alive() and proc.pid is not None
+            }
 
     @property
     def worker_ids(self) -> frozenset[int]:
@@ -316,8 +462,13 @@ class WorkerPool:
             if proc.is_alive():
                 proc.terminate()
         self._procs.clear()
-        self._tasks.close()
-        self._results.close()
+        self._beats.clear()
+        # A worker SIGKILLed mid-``put`` can leave a queue's pipe in a
+        # state its feeder thread never drains; never block shutdown on
+        # joining feeders.
+        for q in (self._tasks, self._results):
+            q.cancel_join_thread()
+            q.close()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
@@ -604,6 +755,8 @@ class _FragmentScheduler:
         self.pool = pool
         self.store = ctx.store
         self.epoch = pool.new_epoch()
+        self._generation = pool.generation
+        self._churn = (pool.respawns, pool.rebuilds)
         self._next_task_id = 0
         self._inflight: dict[int, _Attempt] = {}
 
@@ -718,20 +871,36 @@ class _FragmentScheduler:
         self._inflight.clear()
 
     def _check_workers(self, retries: int) -> None:
-        dead = self.pool.reap()
-        if not dead:
+        self.pool.health_check()
+        # Worker churn is detected by counter, not by who found the
+        # corpse: the service's maintenance thread may have reaped (or
+        # rebuilt around) a dead worker before this scheduler polled,
+        # and the death signal must not be swallowed with it.
+        churn = (self.pool.respawns, self.pool.rebuilds)
+        if churn == self._churn:
             return
-        lost = set(dead)
+        self._churn = churn
+        # A rebuild replaced the task queue: specs queued there are
+        # gone, and every old worker is dead — resubmit *everything*
+        # unfinished, not just the lost workers' started tasks.
+        rebuilt = self.pool.generation != self._generation
+        self._generation = self.pool.generation
+        alive = self.pool.worker_ids
         for task_id, attempt in list(self._inflight.items()):
             if attempt.done:
                 continue
-            # Resubmit tasks the dead worker had started, and also any
-            # not-yet-started task: the victim may have dequeued one
-            # without living long enough to report "start".  A task
-            # still sitting in the queue just runs twice — duplicates
-            # share the task id, so the first result wins and the
-            # second is discarded without double-charging metrics.
-            if attempt.started_by not in lost and attempt.started_by is not None:
+            # Resubmit tasks whose starter is gone (respawns never
+            # reuse worker ids), and also any not-yet-started task:
+            # the victim may have dequeued one without living long
+            # enough to report "start".  A task still sitting in the
+            # queue just runs twice — duplicates share the task id, so
+            # the first result wins and the second is discarded
+            # without double-charging metrics.
+            if (
+                not rebuilt
+                and attempt.started_by is not None
+                and attempt.started_by in alive
+            ):
                 continue
             if attempt.attempts > retries:
                 raise FragmentError(
@@ -837,4 +1006,12 @@ def execute_parallel(plan: PlanNode, ctx: RunContext, config, pool: WorkerPool) 
     exchanges = [n for n in walk_plan(plan) if isinstance(n, Exchange)]
     if not exchanges:
         return
-    _FragmentScheduler(ctx, config, pool).run(exchanges)
+    # One query at a time on a shared pool: concurrent epochs would
+    # consume each other's result messages.  The wait is checkpointed
+    # so cancellation and the deadline still fire while queued.
+    while not pool.query_lock.acquire(timeout=_POLL_S):
+        ctx.checkpoint()
+    try:
+        _FragmentScheduler(ctx, config, pool).run(exchanges)
+    finally:
+        pool.query_lock.release()

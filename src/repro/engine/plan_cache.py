@@ -18,6 +18,20 @@ Invalidation is by catalog table version: an entry remembers the
 Entries hit during *planning* are pinned until the session releases
 them after execution, so populations triggered later in the same query
 can never evict a result the running plan still needs to replay.
+
+Both cache flavours are safe for concurrent use from multiple threads
+(the server front end in :mod:`repro.server` runs many queries against
+one session): :class:`PlanCache` serializes on one reentrant lock,
+:class:`ShardedPlanCache` on per-shard locks, and pins are tracked per
+*thread* so one query releasing its pins cannot unpin an entry a
+concurrent query still replays.
+
+They also carry the **in-flight registry** behind concurrent shared
+execution (DESIGN.md §14): when fingerprint-equal subplans are being
+populated simultaneously by different queries, :meth:`InflightRegistry.claim`
+elects one leader and binds the rest as followers to its single
+execution — the "Pay One, Get Hundreds for Free" generalization of the
+paper's replay reuse.
 """
 
 from __future__ import annotations
@@ -47,6 +61,80 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     rejected: int = 0
+    #: Populations refused because the entry was built against a table
+    #: version that a concurrent ``invalidate_table`` already retired —
+    #: the put/invalidate race that must never resurrect stale data.
+    stale_rejected: int = 0
+
+
+class InflightExecution:
+    """One in-flight subplan population that followers can bind to.
+
+    The leader executes the subplan; followers block on :attr:`ready`
+    and replay :attr:`entry` when it is published.  ``entry`` stays
+    ``None`` if the leader failed (followers then fall back to
+    executing the subplan themselves — shared execution is an
+    optimization, never a new failure mode).
+    """
+
+    __slots__ = ("fingerprint", "ready", "entry", "failed", "followers")
+
+    def __init__(self, fingerprint: str):
+        self.fingerprint = fingerprint
+        self.ready = threading.Event()
+        self.entry: CacheEntry | None = None
+        self.failed = False
+        self.followers = 0
+
+
+class InflightRegistry:
+    """Per-fingerprint registry of populations currently executing.
+
+    ``claim`` elects the single leader for a fingerprint; every
+    concurrent claimant until the leader publishes (or fails) becomes a
+    follower of the same :class:`InflightExecution`.  Publication hands
+    the materialized entry to followers *directly* — even when the
+    byte-budgeted cache refused to admit it — so fan-out never depends
+    on cache capacity.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._inflight: dict[str, InflightExecution] = {}
+        #: Cumulative counters: elected leaders / bound followers.
+        self.leaders = 0
+        self.followers = 0
+
+    def claim(self, fingerprint: str) -> tuple[bool, InflightExecution]:
+        """Returns ``(is_leader, execution)``; a follower result means
+        another thread is populating this fingerprint right now."""
+        with self._lock:
+            execution = self._inflight.get(fingerprint)
+            if execution is not None:
+                execution.followers += 1
+                self.followers += 1
+                return False, execution
+            execution = InflightExecution(fingerprint)
+            self._inflight[fingerprint] = execution
+            self.leaders += 1
+            return True, execution
+
+    def publish(self, execution: InflightExecution, entry: CacheEntry) -> int:
+        """Leader completion: fan ``entry`` out to followers.  Returns
+        how many followers were bound when the result landed."""
+        execution.entry = entry
+        with self._lock:
+            self._inflight.pop(execution.fingerprint, None)
+            fanout = execution.followers
+        execution.ready.set()
+        return fanout
+
+    def fail(self, execution: InflightExecution) -> None:
+        """Leader failure: release followers to execute on their own."""
+        execution.failed = True
+        with self._lock:
+            self._inflight.pop(execution.fingerprint, None)
+        execution.ready.set()
 
 
 @dataclass
@@ -122,9 +210,29 @@ class PlanCache:
             raise ValueError("cache budget must be positive")
         self.budget_bytes = float(budget_bytes)
         self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
-        self._pinned: set[str] = set()
+        #: fingerprint -> outstanding pin count (across all threads).
+        self._pinned: dict[str, int] = {}
+        #: Per-thread record of the pins it took, so ``release_pins``
+        #: from one query thread never unpins a concurrent query's
+        #: entries (a thread may pin the same fingerprint twice when a
+        #: subplan occurs twice — hence a list, not a set).
+        self._local = threading.local()
+        #: Minimum admissible version per table: raised by
+        #: ``invalidate_table(..., min_version=...)`` so an in-flight
+        #: population racing the invalidation cannot resurrect a stale
+        #: entry (see tests/test_sharded_cache.py).
+        self._min_versions: dict[str, int] = {}
+        self._lock = threading.RLock()
         self.bytes_used = 0.0
         self.stats = CacheStats()
+        #: Concurrent shared execution registry (DESIGN.md §14).
+        self.inflight = InflightRegistry()
+
+    def _my_pins(self) -> list[str]:
+        pins = getattr(self._local, "pins", None)
+        if pins is None:
+            pins = self._local.pins = []
+        return pins
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -137,106 +245,140 @@ class PlanCache:
 
     def entries(self) -> list[CacheEntry]:
         """Entries in LRU order (oldest first); for tests/inspection."""
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def lookup(self, fingerprint: str, catalog=None, pin: bool = False):
         """Planning-time lookup: validates table versions against
         ``catalog`` (dropping stale entries), refreshes LRU position,
         and optionally pins the entry until :meth:`release_pins`.
         """
-        entry = self._entries.get(fingerprint)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if catalog is not None:
-            for table, version in entry.table_versions:
-                if catalog.table_version(table) != version:
-                    self._drop(fingerprint)
-                    self.stats.invalidations += 1
-                    self.stats.misses += 1
-                    return None
-        self._entries.move_to_end(fingerprint)
-        self.stats.hits += 1
-        if pin:
-            self._pinned.add(fingerprint)
-        return entry
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if catalog is not None:
+                for table, version in entry.table_versions:
+                    if catalog.table_version(table) != version:
+                        self._drop(fingerprint)
+                        self.stats.invalidations += 1
+                        self.stats.misses += 1
+                        return None
+            self._entries.move_to_end(fingerprint)
+            self.stats.hits += 1
+            if pin:
+                self._pinned[fingerprint] = self._pinned.get(fingerprint, 0) + 1
+                self._my_pins().append(fingerprint)
+            return entry
 
     def replay(self, fingerprint: str):
         """Execution-time fetch (no version check — versions were
         validated, and the entry pinned, when the plan was built)."""
-        entry = self._entries.get(fingerprint)
-        if entry is not None:
-            self._entries.move_to_end(fingerprint)
-            self.stats.replays += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                self.stats.replays += 1
+            return entry
 
     def put(self, entry: CacheEntry) -> bool:
         """Admit ``entry``, evicting unpinned LRU entries to fit the
         byte budget.  Returns False (without evicting anything) when
-        the entry already exists, exceeds the whole budget, or could
-        only fit by evicting pinned entries."""
-        if entry.fingerprint in self._entries:
-            return False
-        if entry.nbytes > self.budget_bytes:
-            self.stats.rejected += 1
-            return False
-        needed = self.bytes_used + entry.nbytes - self.budget_bytes
-        if needed > 0:
-            victims = []
-            reclaimed = 0.0
-            for fingerprint, candidate in self._entries.items():
-                if fingerprint in self._pinned:
-                    continue
-                victims.append(fingerprint)
-                reclaimed += candidate.nbytes
-                if reclaimed >= needed:
-                    break
-            if reclaimed < needed:
+        the entry already exists, was built against an invalidated
+        table version, exceeds the whole budget, or could only fit by
+        evicting pinned entries."""
+        with self._lock:
+            if entry.fingerprint in self._entries:
+                return False
+            for table, version in entry.table_versions:
+                if version < self._min_versions.get(table, 0):
+                    self.stats.stale_rejected += 1
+                    self.stats.rejected += 1
+                    return False
+            if entry.nbytes > self.budget_bytes:
                 self.stats.rejected += 1
                 return False
-            for fingerprint in victims:
-                self._drop(fingerprint)
-                self.stats.evictions += 1
-        self._entries[entry.fingerprint] = entry
-        self.bytes_used += entry.nbytes
-        self.stats.populations += 1
-        return True
+            needed = self.bytes_used + entry.nbytes - self.budget_bytes
+            if needed > 0:
+                victims = []
+                reclaimed = 0.0
+                for fingerprint, candidate in self._entries.items():
+                    if self._pinned.get(fingerprint, 0) > 0:
+                        continue
+                    victims.append(fingerprint)
+                    reclaimed += candidate.nbytes
+                    if reclaimed >= needed:
+                        break
+                if reclaimed < needed:
+                    self.stats.rejected += 1
+                    return False
+                for fingerprint in victims:
+                    self._drop(fingerprint)
+                    self.stats.evictions += 1
+            self._entries[entry.fingerprint] = entry
+            self.bytes_used += entry.nbytes
+            self.stats.populations += 1
+            return True
 
     def evict(self, fingerprint: str) -> bool:
         """Drop one entry (e.g. after a failed replay checksum);
         counts as an invalidation.  Returns False if absent."""
-        if fingerprint not in self._entries:
-            return False
-        self._drop(fingerprint)
-        self.stats.invalidations += 1
-        return True
-
-    def invalidate_table(self, table: str) -> int:
-        """Eagerly evict every entry whose lineage includes ``table``;
-        returns how many were dropped."""
-        key = table.lower()
-        victims = [
-            fingerprint
-            for fingerprint, entry in self._entries.items()
-            if key in entry.tables
-        ]
-        for fingerprint in victims:
+        with self._lock:
+            if fingerprint not in self._entries:
+                return False
             self._drop(fingerprint)
             self.stats.invalidations += 1
-        return len(victims)
+            return True
+
+    def invalidate_table(self, table: str, min_version: int | None = None) -> int:
+        """Eagerly evict every entry whose lineage includes ``table``;
+        returns how many were dropped.
+
+        ``min_version`` (the table's new catalog version) additionally
+        fences future admissions: any in-flight population that was
+        planned against an older version is refused by :meth:`put`, so
+        a concurrent put/invalidate interleaving can never resurrect a
+        stale entry after the invalidation completed.
+        """
+        key = table.lower()
+        with self._lock:
+            if min_version is not None and min_version > self._min_versions.get(key, 0):
+                self._min_versions[key] = min_version
+            victims = [
+                fingerprint
+                for fingerprint, entry in self._entries.items()
+                if key in entry.tables
+            ]
+            for fingerprint in victims:
+                self._drop(fingerprint)
+                self.stats.invalidations += 1
+            return len(victims)
 
     def release_pins(self) -> None:
-        self._pinned.clear()
+        """Release the pins taken *by the calling thread* (each query
+        runs planning + execution on one thread, so this is exactly
+        the finished query's pins)."""
+        with self._lock:
+            for fingerprint in self._my_pins():
+                count = self._pinned.get(fingerprint, 0) - 1
+                if count <= 0:
+                    self._pinned.pop(fingerprint, None)
+                else:
+                    self._pinned[fingerprint] = count
+            self._my_pins().clear()
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._pinned.clear()
-        self.bytes_used = 0.0
+        with self._lock:
+            self._entries.clear()
+            self._pinned.clear()
+            self._min_versions.clear()
+            self.bytes_used = 0.0
 
     def _drop(self, fingerprint: str) -> None:
         entry = self._entries.pop(fingerprint)
         self.bytes_used -= entry.nbytes
-        self._pinned.discard(fingerprint)
+        self._pinned.pop(fingerprint, None)
 
     def summary(self) -> str:
         return (
@@ -278,6 +420,9 @@ class ShardedPlanCache:
             PlanCache(self.budget_bytes / shards) for _ in range(shards)
         ]
         self._locks = [threading.Lock() for _ in range(shards)]
+        #: One registry across all shards: in-flight leadership must be
+        #: global per fingerprint regardless of shard routing.
+        self.inflight = InflightRegistry()
 
     def _shard(self, fingerprint: str) -> tuple[PlanCache, threading.Lock]:
         index = crc32(fingerprint.encode()) % len(self._shards)
@@ -309,6 +454,7 @@ class ShardedPlanCache:
             total.evictions += stats.evictions
             total.invalidations += stats.invalidations
             total.rejected += stats.rejected
+            total.stale_rejected += stats.stale_rejected
         return total
 
     def __len__(self) -> int:
@@ -349,11 +495,11 @@ class ShardedPlanCache:
         with lock:
             return shard.evict(fingerprint)
 
-    def invalidate_table(self, table: str) -> int:
+    def invalidate_table(self, table: str, min_version: int | None = None) -> int:
         dropped = 0
         for shard, lock in zip(self._shards, self._locks):
             with lock:
-                dropped += shard.invalidate_table(table)
+                dropped += shard.invalidate_table(table, min_version=min_version)
         return dropped
 
     def release_pins(self) -> None:

@@ -8,7 +8,8 @@ report (wall time, bytes scanned, peak operator state).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass, field, replace
 
 from repro.algebra.operators import PlanNode
 from repro.algebra.printer import explain
@@ -51,14 +52,28 @@ class QueryResult:
         return sorted(self.rows, key=lambda r: tuple((v is None, str(v)) for v in r))
 
 
+#: Serializes configuration writes to a *shared* store (fault-injector
+#: install, strict-block / checksum / latency flags): sessions over the
+#: same store may be constructed from concurrent server threads.
+_STORE_CONFIG_LOCK = threading.Lock()
+
+
 class Session:
-    """A connection-like object bound to one store + configuration."""
+    """A connection-like object bound to one store + configuration.
+
+    Safe for concurrent use from multiple threads: each ``execute``
+    gets its own :class:`RunContext`/metrics, the plan cache serializes
+    internally, and ``cancel()`` aborts every in-flight query.  The
+    fragment worker pool serializes parallel queries (fragments within
+    one query still run concurrently).
+    """
 
     def __init__(
         self,
         store: Store,
         config: OptimizerConfig | None = None,
         worker_pool: WorkerPool | None = None,
+        plan_cache: PlanCache | ShardedPlanCache | None = None,
     ):
         self.store = store
         self.config = config if config is not None else OptimizerConfig()
@@ -67,16 +82,17 @@ class Session:
         # policy and per-query limits are session-local.  Attributes on
         # the store are only touched when the config asks for it, so a
         # vanilla session never perturbs a store it shares.
-        if self.config.fault_rate > 0 and store.fault_injector is None:
-            store.fault_injector = FaultInjector(
-                fault_rate=self.config.fault_rate, seed=self.config.fault_seed
-            )
-        if self.config.strict_blocks is not None:
-            store.strict_blocks = self.config.strict_blocks
-        if not self.config.verify_checksums:
-            store.verify_checksums = False
-        if self.config.io_latency_ms > 0:
-            store.io_latency_ms = self.config.io_latency_ms
+        with _STORE_CONFIG_LOCK:
+            if self.config.fault_rate > 0 and store.fault_injector is None:
+                store.fault_injector = FaultInjector(
+                    fault_rate=self.config.fault_rate, seed=self.config.fault_seed
+                )
+            if self.config.strict_blocks is not None:
+                store.strict_blocks = self.config.strict_blocks
+            if not self.config.verify_checksums:
+                store.verify_checksums = False
+            if self.config.io_latency_ms > 0:
+                store.io_latency_ms = self.config.io_latency_ms
         #: Fragment worker pool for ``workers > 1`` (DESIGN.md §13).
         #: Created lazily on the first parallel query unless the caller
         #: supplies a shared pool (e.g. the differential oracle, which
@@ -94,50 +110,62 @@ class Session:
             max_spool_rows=self.config.max_spool_rows,
             max_state_rows=self.config.max_state_rows,
         )
-        self._active_ctx: RunContext | None = None
+        #: In-flight query contexts (one per executing thread) plus the
+        #: lock guarding them and the lazily-created pool/partitions.
+        self._active_ctxs: set[RunContext] = set()
+        self._state_lock = threading.Lock()
         self._cancel_pending = False
         self.catalog = Catalog()
         store.load_catalog(self.catalog)
         self._binder = Binder(self.catalog)
         #: Cross-query subplan result cache (§ cross-query reuse);
         #: lives as long as the session, like Athena's per-workgroup
-        #: result reuse window.
+        #: result reuse window.  A caller-supplied cache (e.g. the
+        #: query service sharing one cache across its ladder sessions)
+        #: is used as-is when the config enables caching.
         self.plan_cache: PlanCache | ShardedPlanCache | None = None
         if self.config.enable_plan_cache:
-            budget = self.config.cache_budget_mb * MIB
-            if self.config.cache_shards > 1:
-                self.plan_cache = ShardedPlanCache(
-                    budget, shards=self.config.cache_shards
-                )
+            if plan_cache is not None:
+                self.plan_cache = plan_cache
             else:
-                self.plan_cache = PlanCache(budget)
+                budget = self.config.cache_budget_mb * MIB
+                if self.config.cache_shards > 1:
+                    self.plan_cache = ShardedPlanCache(
+                        budget, shards=self.config.cache_shards
+                    )
+                else:
+                    self.plan_cache = PlanCache(budget)
 
     # -- parallel execution plumbing ---------------------------------------
 
     def _partitions(self) -> dict[str, int]:
         """Stored partition counts for the ParallelPlan pass (cached;
         refreshed by reload_table)."""
-        if self._partition_counts is None:
-            self._partition_counts = {
-                table.name.lower(): self.store.partition_count(table.name)
-                for table in self.catalog.tables()
-                if self.store.has(table.name)
-            }
-        return self._partition_counts
+        with self._state_lock:
+            if self._partition_counts is None:
+                self._partition_counts = {
+                    table.name.lower(): self.store.partition_count(table.name)
+                    for table in self.catalog.tables()
+                    if self.store.has(table.name)
+                }
+            return self._partition_counts
 
     def _ensure_pool(self) -> WorkerPool:
-        if self._pool is None:
-            self._pool = WorkerPool(self.store, self.config.workers)
-            self._pool_owned = True
-        return self._pool
+        with self._state_lock:
+            if self._pool is None:
+                self._pool = WorkerPool(self.store, self.config.workers)
+                self._pool_owned = True
+            return self._pool
 
     def close(self) -> None:
         """Release session resources (the owned worker pool).  Shared
         pools passed into the constructor are left running — their
         owner closes them.  Idempotent."""
-        if self._pool is not None and self._pool_owned:
-            self._pool.close()
-        self._pool = None
+        with self._state_lock:
+            pool, owned = self._pool, self._pool_owned
+            self._pool = None
+        if pool is not None and owned:
+            pool.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -147,7 +175,10 @@ class Session:
 
     def plan(self, sql: str) -> tuple[PlanNode, tuple[str, ...]]:
         """Parse + bind + optimize; returns (plan, output names)."""
-        bound = self._binder.bind_sql(sql)
+        # A fresh Binder per call: binding keeps per-query scratch
+        # state on the instance, so concurrent binds must not share it
+        # (the catalog and its column allocator are safe to share).
+        bound = Binder(self.catalog).bind_sql(sql)
         try:
             optimized, _ = optimize(
                 bound.plan,
@@ -165,9 +196,15 @@ class Session:
                 self.plan_cache.release_pins()
         return optimized, bound.column_names
 
-    def execute(self, sql: str) -> QueryResult:
-        """Run a SQL query end to end with the configured engine."""
-        bound = self._binder.bind_sql(sql)
+    def execute(self, sql: str, *, timeout_ms: float | None = None) -> QueryResult:
+        """Run a SQL query end to end with the configured engine.
+
+        ``timeout_ms`` overrides the session's configured deadline for
+        this one query — the server uses it to charge queue wait
+        against the same admission-to-completion deadline.
+        """
+        bound = Binder(self.catalog).bind_sql(sql)
+        run_ctx: RunContext | None = None
         try:
             optimized, opt_ctx = optimize(
                 bound.plan,
@@ -178,16 +215,21 @@ class Session:
                     self._partitions() if self.config.workers > 1 else None
                 ),
             )
+            limits = self._limits
+            if timeout_ms is not None:
+                limits = replace(limits, timeout_ms=timeout_ms)
             run_ctx = RunContext(
                 self.store,
                 plan_cache=self.plan_cache,
                 retry_policy=self._retry_policy,
-                limits=self._limits,
+                limits=limits,
             )
-            self._active_ctx = run_ctx
-            run_ctx.audit_kernels = self.config.validate_plans
-            if self._cancel_pending:
+            with self._state_lock:
+                self._active_ctxs.add(run_ctx)
+                cancel_now = self._cancel_pending
                 self._cancel_pending = False
+            run_ctx.audit_kernels = self.config.validate_plans
+            if cancel_now:
                 run_ctx.cancel()
             if self.config.profile:
                 run_ctx.profiler = Profiler()
@@ -225,9 +267,12 @@ class Session:
                 # the query rather than poison later ones.
                 self.store.verify_integrity()
         finally:
-            self._active_ctx = None
+            if run_ctx is not None:
+                with self._state_lock:
+                    self._active_ctxs.discard(run_ctx)
             # Entries pinned at planning time stay safe from eviction
-            # for exactly the execution of this query.
+            # for exactly the execution of this query.  Pins are
+            # per-thread, so this releases only this query's pins.
             if self.plan_cache is not None:
                 self.plan_cache.release_pins()
         run_ctx.metrics.deadline_remaining_ms = run_ctx.deadline_remaining_ms
@@ -242,16 +287,17 @@ class Session:
         )
 
     def cancel(self) -> None:
-        """Cooperatively cancel the in-flight query; it aborts with
+        """Cooperatively cancel every in-flight query; each aborts with
         :class:`~repro.errors.QueryCancelledError` at the next block
         boundary.  With no query in flight, the *next* ``execute`` is
         cancelled immediately (so single-threaded callers and tests can
         exercise the path deterministically)."""
-        ctx = self._active_ctx
-        if ctx is not None:
+        with self._state_lock:
+            active = list(self._active_ctxs)
+            if not active:
+                self._cancel_pending = True
+        for ctx in active:
             ctx.cancel()
-        else:
-            self._cancel_pending = True
 
     def reload_table(self, name: str) -> None:
         """Pick up replaced data for ``name`` (after ``store.put``).
@@ -262,17 +308,23 @@ class Session:
         """
         self.store.register_table(name, self.catalog)
         if self.plan_cache is not None:
-            self.plan_cache.invalidate_table(name)
+            # The new catalog version fences concurrent populations:
+            # a put racing this invalidation cannot resurrect an entry
+            # built against the replaced data.
+            self.plan_cache.invalidate_table(
+                name, min_version=self.catalog.table_version(name)
+            )
         # Fragment workers hold a fork-time copy of the store, and the
         # cached partition counts may be stale: drop both (a new owned
         # pool forks lazily on the next parallel query; a shared pool
         # is merely disowned — its owner is responsible for it).
-        self._partition_counts = None
-        if self._pool is not None:
-            if self._pool_owned:
-                self._pool.close()
+        with self._state_lock:
+            self._partition_counts = None
+            pool, owned = self._pool, self._pool_owned
             self._pool = None
             self._pool_owned = True
+        if pool is not None and owned:
+            pool.close()
 
     def explain(self, sql: str) -> str:
         plan, _ = self.plan(sql)

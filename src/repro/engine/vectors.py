@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import operator
 import os
+import threading
 import zlib
 
 try:  # pragma: no cover - exercised via numpy_enabled()
@@ -380,9 +381,10 @@ def _int_safe(op: str, a_data, b_data) -> bool:
 
 
 #: Compiled vector closures for env-free expressions (the same cross-
-#: execution sharing as the batch compiler's memo).
+#: execution sharing — and locking — as the batch compiler's memo).
 _VECTOR_MEMO: dict[tuple, object] = {}
 _VECTOR_MEMO_MAX = 2048
+_VECTOR_MEMO_LOCK = threading.Lock()
 
 
 def compile_expression_vector(
@@ -393,15 +395,17 @@ def compile_expression_vector(
     if type(columns) is not tuple:
         columns = tuple(columns)
     key = (expr, columns)
-    fn = _VECTOR_MEMO.pop(key, None)
-    if fn is not None:
-        _VECTOR_MEMO[key] = fn  # LRU reinsertion
-        return fn
+    with _VECTOR_MEMO_LOCK:
+        fn = _VECTOR_MEMO.pop(key, None)
+        if fn is not None:
+            _VECTOR_MEMO[key] = fn  # LRU reinsertion
+            return fn
     fn = _compile_expression_vector(expr, columns, env)
     if env_free(expr, columns):
-        if len(_VECTOR_MEMO) >= _VECTOR_MEMO_MAX:
-            del _VECTOR_MEMO[next(iter(_VECTOR_MEMO))]
-        _VECTOR_MEMO[key] = fn
+        with _VECTOR_MEMO_LOCK:
+            if key not in _VECTOR_MEMO and len(_VECTOR_MEMO) >= _VECTOR_MEMO_MAX:
+                del _VECTOR_MEMO[next(iter(_VECTOR_MEMO))]
+            _VECTOR_MEMO[key] = fn
     return fn
 
 

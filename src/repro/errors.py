@@ -84,6 +84,40 @@ class ResourceExhaustedError(ReproError):
     are per query; raise them or reduce the data processed."""
 
 
+class AdmissionRejectedError(ReproError):
+    """The query was shed at the service boundary before any work ran:
+    the admission queue is full, the tenant is over its rate limit, or
+    the tenant's in-flight budget is exhausted.  Carries
+    ``retry_after_ms`` — the client should back off at least that long
+    before resubmitting (the 503-with-Retry-After of a query service).
+    """
+
+    def __init__(self, message: str, retry_after_ms: float = 0.0):
+        super().__init__(f"{message} (retry after {retry_after_ms:.0f}ms)")
+        self.retry_after_ms = retry_after_ms
+
+
+class QueryQueueTimeoutError(ReproError):
+    """The query was admitted but waited in the service queue longer
+    than its queue-wait deadline; it was dropped without executing.
+    Distinct from :class:`QueryTimeoutError`, which means execution
+    itself exceeded the per-query deadline."""
+
+
+class CircuitOpenError(ReproError):
+    """Every execution rung the degradation ladder could try for this
+    query has an open circuit breaker (its recent failure rate tripped
+    the rolling-window threshold).  The service refuses to burn work on
+    a configuration that keeps failing; breakers half-open and probe
+    recovery automatically after their cooldown."""
+
+
+class WorkerPoolError(ReproError):
+    """The fragment worker pool is unhealthy beyond repair for the
+    current query (e.g. it could not be rebuilt after a wipeout).  The
+    degradation ladder responds by retrying the query serially."""
+
+
 class OptimizerError(ReproError):
     """An optimizer rule produced an invalid rewrite.
 

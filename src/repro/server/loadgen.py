@@ -1,0 +1,213 @@
+"""Concurrent load generation + byte-identity oracle for the service.
+
+Shared by ``benchmarks/bench_server.py``, ``benchmarks/server_smoke.py``
+and the chaos tests: drives N client threads against a
+:class:`~repro.server.service.QueryService`, optionally SIGKILLs a live
+fragment worker mid-run, and checks every result byte-for-byte against
+a serial, cache-off baseline computed up front.
+
+Correctness is the point: a degraded, retried, cache-replayed or
+leader/follower-shared execution must return *exactly* the rows the
+plain serial engine returns, in the same order.  Results are compared
+by SHA-256 over ``repr(rows)`` — any reordering or value drift flips
+the hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.session import Session
+from repro.errors import AdmissionRejectedError, ReproError
+from repro.optimizer.config import OptimizerConfig
+
+
+def rows_digest(rows: list[tuple]) -> str:
+    """Order-sensitive fingerprint of a result set."""
+    return hashlib.sha256(repr(rows).encode()).hexdigest()
+
+
+def serial_baseline(
+    store, queries: list[str], engine: str = "batch"
+) -> dict[str, dict]:
+    """Ground truth per query: digest + bytes scanned, computed on a
+    fresh serial session with caching off (nothing shared, no reuse)."""
+    config = OptimizerConfig(engine=engine, enable_plan_cache=False, workers=1)
+    baseline: dict[str, dict] = {}
+    with Session(store, config) as session:
+        for sql in queries:
+            result = session.execute(sql)
+            baseline[sql] = {
+                "digest": rows_digest(result.rows),
+                "bytes_scanned": result.metrics.accounting.bytes_scanned,
+                "rows": len(result.rows),
+            }
+    return baseline
+
+
+@dataclass
+class LoadReport:
+    """Everything a benchmark wants to serialize about one run."""
+
+    queries_run: int = 0
+    ok: int = 0
+    wrong_results: int = 0
+    rejected: int = 0
+    errors_by_type: dict[str, int] = field(default_factory=dict)
+    latencies_ms: list[float] = field(default_factory=list)
+    bytes_scanned: float = 0.0
+    baseline_bytes: float = 0.0
+    degradations: int = 0
+    shared_hits: int = 0
+    cache_hits: int = 0
+    workers_killed: int = 0
+    service_metrics: dict = field(default_factory=dict)
+
+    @property
+    def bytes_reduction(self) -> float:
+        """Fraction of baseline bytes *not* scanned thanks to sharing."""
+        if self.baseline_bytes <= 0:
+            return 0.0
+        return 1.0 - self.bytes_scanned / self.baseline_bytes
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+
+    def as_dict(self) -> dict:
+        return {
+            "queries_run": self.queries_run,
+            "ok": self.ok,
+            "wrong_results": self.wrong_results,
+            "rejected": self.rejected,
+            "errors_by_type": dict(self.errors_by_type),
+            "latency_ms": {
+                "p50": self.percentile(0.50),
+                "p99": self.percentile(0.99),
+            },
+            "bytes_scanned": self.bytes_scanned,
+            "baseline_bytes": self.baseline_bytes,
+            "bytes_reduction": self.bytes_reduction,
+            "degradations": self.degradations,
+            "shared_hits": self.shared_hits,
+            "cache_hits": self.cache_hits,
+            "workers_killed": self.workers_killed,
+            "service_metrics": self.service_metrics,
+        }
+
+
+def run_load(
+    service,
+    queries: list[str],
+    baseline: dict[str, dict],
+    clients: int = 8,
+    per_client: int = 10,
+    seed: int = 7,
+    tenants: tuple[str, ...] = ("default",),
+    kill_worker_after: int | None = None,
+    retry_rejected: bool = True,
+) -> LoadReport:
+    """Drive ``clients`` threads of ``per_client`` queries each.
+
+    Each client draws queries from ``queries`` with its own seeded RNG
+    (deterministic per (seed, client) — the interleaving is not, which
+    is the point).  ``kill_worker_after`` SIGKILLs one live fragment
+    worker after that many queries have completed service-side —
+    mid-run, while fragments are in flight.  Rejected submissions are
+    retried after the advertised ``retry_after_ms`` when
+    ``retry_rejected`` (clients that give up count as ``rejected``).
+    """
+    report = LoadReport()
+    lock = threading.Lock()
+    completed = threading.Semaphore(0)
+    stop_killer = threading.Event()
+
+    def client(index: int) -> None:
+        rng = random.Random(seed * 1009 + index)
+        tenant = tenants[index % len(tenants)]
+        for _ in range(per_client):
+            sql = rng.choice(queries)
+            started = time.monotonic()
+            try:
+                ticket = None
+                for _attempt in range(8 if retry_rejected else 1):
+                    try:
+                        ticket = service.submit(sql, tenant=tenant)
+                        break
+                    except AdmissionRejectedError as exc:
+                        if not retry_rejected or _attempt == 7:
+                            raise
+                        time.sleep(min(exc.retry_after_ms, 200.0) / 1000.0)
+                assert ticket is not None
+                result = ticket.result()
+            except ReproError as exc:
+                with lock:
+                    report.queries_run += 1
+                    name = type(exc).__name__
+                    if isinstance(exc, AdmissionRejectedError):
+                        report.rejected += 1
+                    report.errors_by_type[name] = (
+                        report.errors_by_type.get(name, 0) + 1
+                    )
+                completed.release()
+                continue
+            latency_ms = (time.monotonic() - started) * 1000.0
+            expected = baseline[sql]
+            metrics = result.metrics
+            with lock:
+                report.queries_run += 1
+                report.latencies_ms.append(latency_ms)
+                if rows_digest(result.rows) == expected["digest"]:
+                    report.ok += 1
+                else:
+                    report.wrong_results += 1
+                report.bytes_scanned += metrics.accounting.bytes_scanned
+                report.baseline_bytes += expected["bytes_scanned"]
+                report.degradations += len(metrics.degradations)
+                report.shared_hits += metrics.shared_hits
+                report.cache_hits += metrics.cache_hits
+            completed.release()
+
+    def killer() -> None:
+        # Wait until enough queries completed, then SIGKILL one live
+        # worker — the self-healing pool must absorb it invisibly.
+        for _ in range(kill_worker_after):
+            while not completed.acquire(timeout=0.1):
+                if stop_killer.is_set():
+                    return
+        pids = service.worker_pids()
+        if not pids:
+            return
+        victim = sorted(pids.values())[0]
+        try:
+            os.kill(victim, signal.SIGKILL)
+        except OSError:  # pragma: no cover - victim already gone
+            return
+        with lock:
+            report.workers_killed += 1
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    killer_thread = None
+    if kill_worker_after is not None:
+        killer_thread = threading.Thread(target=killer, daemon=True)
+        killer_thread.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stop_killer.set()
+    if killer_thread is not None:
+        killer_thread.join(timeout=5.0)
+    report.service_metrics = service.metrics()
+    return report

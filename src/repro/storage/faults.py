@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -121,6 +122,9 @@ class FaultInjector:
         self.fail_gets = frozenset(t.lower() for t in fail_gets)
         self.sleep = sleep
         self.stats = FaultStats()
+        #: Counter updates must not lose increments when concurrent
+        #: server queries share one injector on one store.
+        self._stats_lock = threading.Lock()
         self._corrupt_targets: set[Site] = set()
 
     # -- pattern matching -------------------------------------------------
@@ -165,17 +169,20 @@ class FaultInjector:
             # The stored list changed under any cached NumPy view; drop
             # it so the next verification re-checks the real values.
             chunk.invalidate_vector()
-            self.stats.corruptions += 1
+            with self._stats_lock:
+                self.stats.corruptions += 1
             if metrics is not None:
                 metrics.faults_injected += 1
         if self.stalls_at(site) and attempt == 0:
-            self.stats.stalls += 1
+            with self._stats_lock:
+                self.stats.stalls += 1
             if metrics is not None:
                 metrics.faults_injected += 1
             self.sleep(self.stall_ms / 1000.0)
         failures = self.failures_at(site)
         if attempt < failures:
-            self.stats.transient_faults += 1
+            with self._stats_lock:
+                self.stats.transient_faults += 1
             if metrics is not None:
                 metrics.faults_injected += 1
             table, partition, column = site
@@ -189,7 +196,8 @@ class FaultInjector:
         """Called by ``Store.get``; fails lookups of tables listed in
         ``fail_gets`` (table-level outage, e.g. a listing error)."""
         if table.lower() in self.fail_gets:
-            self.stats.transient_faults += 1
+            with self._stats_lock:
+                self.stats.transient_faults += 1
             if metrics is not None:
                 metrics.faults_injected += 1
             raise TransientReadError(

@@ -16,22 +16,26 @@ from repro.algebra.operators import GroupBy
 from repro.algebra.visitors import collect, substitute_in_plan
 from repro.algebra.types import DataType
 from repro.catalog.catalog import ColumnDef, TableDef
-from repro.cli import main
+from repro.cli import exit_code_for, main
 from repro.engine.session import Session
 from repro.errors import (
+    AdmissionRejectedError,
     BindingError,
     CatalogError,
+    CircuitOpenError,
     DataCorruptionError,
     ExecutionError,
     OptimizerError,
     PlanError,
     QueryCancelledError,
+    QueryQueueTimeoutError,
     QueryTimeoutError,
     ReproError,
     ResourceExhaustedError,
     SqlSyntaxError,
     StorageError,
     TransientReadError,
+    WorkerPoolError,
 )
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.rewrites.simplify import SimplifyExpressions
@@ -163,24 +167,115 @@ def test_resource_exhausted_error():
         session.execute("SELECT age, count(*) AS n FROM people GROUP BY age")
 
 
+# -- the server-only errors, through the service boundary -------------------
+#
+# Admission, queue-timeout, and circuit-open errors cannot happen in a
+# bare session; they are raised by the serving layer around it.  Each is
+# reached here with real SQL through the public QueryService API.
+
+
+def _service(**kw):
+    from repro.server.service import QueryService, ServiceConfig
+
+    defaults = dict(
+        base=OptimizerConfig(engine="batch"),
+        dispatchers=1,
+        health_interval_s=0.0,
+    )
+    defaults.update(kw)
+    return QueryService(_store(), ServiceConfig(**defaults))
+
+
+def test_admission_rejected_error_through_service():
+    with _service(max_queue_depth=0) as service:
+        with pytest.raises(AdmissionRejectedError, match="retry") as excinfo:
+            service.submit("SELECT sum(age) FROM people")
+        assert excinfo.value.retry_after_ms > 0
+
+
+def test_query_queue_timeout_error_through_service():
+    with _service(queue_timeout_ms=0.0) as service:
+        ticket = service.submit("SELECT sum(age) FROM people")
+        with pytest.raises(QueryQueueTimeoutError, match="queue"):
+            ticket.result(30.0)
+
+
+def test_circuit_open_error_through_service():
+    # A bottom-rung-only service (row engine, serial, no cache) has no
+    # fallback; a hair-trigger breaker opens on the first failure and
+    # the next query finds every rung open.
+    config = dict(
+        base=OptimizerConfig(engine="row", workers=1, enable_plan_cache=False),
+        breaker_min_samples=1,
+        breaker_failure_threshold=0.1,
+        breaker_cooldown_s=1e9,
+    )
+    failing_sql = "SELECT (SELECT id FROM people) AS x"  # ExecutionError
+    with _service(**config) as service:
+        with pytest.raises(ExecutionError):
+            service.execute(failing_sql)
+        with pytest.raises(CircuitOpenError, match="circuit open"):
+            service.execute("SELECT sum(age) FROM people")
+
+
+def test_user_fatal_errors_do_not_open_breakers():
+    config = dict(
+        base=OptimizerConfig(engine="row", workers=1, enable_plan_cache=False),
+        breaker_min_samples=1,
+        breaker_failure_threshold=0.1,
+        breaker_cooldown_s=1e9,
+    )
+    with _service(**config) as service:
+        for _ in range(3):
+            with pytest.raises(BindingError):
+                service.execute("SELECT ghost FROM people")
+        # Typos never trip the breaker: the rung still serves others.
+        assert service.execute("SELECT sum(age) FROM people").rows
+
+
 # -- the CLI catches exactly ReproError -------------------------------------
 
 _CLI_FAILURES = [
-    ["SELEC 1"],
-    ["SELECT ghost FROM reason"],
-    ["--timeout-ms", "0", "SELECT count(*) FROM reason"],
-    ["--fault-rate", "1.0", "--retries", "0", "--scale", "0.01",
-     "SELECT max(r_reason_sk) FROM reason"],
+    (["SELEC 1"], 1),
+    (["SELECT ghost FROM reason"], 1),
+    (["--timeout-ms", "0", "SELECT count(*) FROM reason"], 3),
+    (["--fault-rate", "1.0", "--retries", "0", "--scale", "0.01",
+      "SELECT max(r_reason_sk) FROM reason"], 1),
 ]
 
 
-@pytest.mark.parametrize("argv", _CLI_FAILURES)
-def test_cli_reports_structured_error(argv, capsys):
+@pytest.mark.parametrize("argv,code", _CLI_FAILURES)
+def test_cli_reports_structured_error(argv, code, capsys):
     base = [] if "--scale" in argv else ["--scale", "0.01"]
-    assert main(base + argv) == 1
+    assert main(base + argv) == code
     captured = capsys.readouterr()
     assert captured.err.startswith("error: ")
     assert "Traceback" not in captured.err
+
+
+def test_cli_exit_codes_distinguish_error_classes():
+    """Scripted callers (and the chaos CI job) branch on exit codes, so
+    the mapping is part of the public contract."""
+    expected = {
+        QueryTimeoutError: 3,
+        QueryCancelledError: 4,
+        ResourceExhaustedError: 5,
+        DataCorruptionError: 6,
+        AdmissionRejectedError: 7,
+        QueryQueueTimeoutError: 8,
+        CircuitOpenError: 9,
+        WorkerPoolError: 10,
+    }
+    for klass, code in expected.items():
+        assert exit_code_for(klass("boom")) == code, klass
+    # Everything else in the taxonomy is the generic failure.
+    for klass in (SqlSyntaxError, BindingError, ExecutionError, ReproError):
+        assert exit_code_for(klass("boom")) == 1, klass
+    # Codes never collide with each other or with 0/1/2 (success,
+    # generic error, --compare disagreement).
+    codes = list(expected.values())
+    assert len(set(codes)) == len(codes)
+    assert not {0, 1, 2} & set(codes)
 
 
 def test_cli_does_not_mask_non_repro_errors(monkeypatch):

@@ -1,0 +1,273 @@
+"""The degradation ladder and circuit breakers (repro.server.degrade).
+
+Rung arithmetic and breaker state machines are pure and clock-injected;
+the supervisor is driven with stub run functions that fail on command.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.parallel import FragmentError
+from repro.errors import (
+    BindingError,
+    CircuitOpenError,
+    DataCorruptionError,
+    ExecutionError,
+    QueryTimeoutError,
+    SqlSyntaxError,
+    WorkerPoolError,
+)
+from repro.optimizer.config import OptimizerConfig
+from repro.server.degrade import (
+    CircuitBreaker,
+    DegradationSupervisor,
+    Rung,
+    classify,
+    demote,
+    step_down,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeMetrics:
+    def __init__(self):
+        self.ladder_path: list[str] = []
+        self.degradations: list[str] = []
+
+
+class FakeResult:
+    def __init__(self):
+        self.metrics = FakeMetrics()
+
+
+TOP = Rung(engine="compiled", parallel=True, cache=True)
+BOTTOM = Rung(engine="row", parallel=False, cache=False)
+
+
+class TestRung:
+    def test_name_round_trips_the_axes(self):
+        assert TOP.name == "compiled|parallel|cache"
+        assert BOTTOM.name == "row|serial|nocache"
+
+    def test_config_specializes_base(self):
+        base = OptimizerConfig(
+            engine="compiled", workers=4, enable_plan_cache=True
+        )
+        serial = Rung(engine="batch", parallel=False, cache=False).config(base)
+        assert serial.engine == "batch"
+        assert serial.workers == 1
+        assert not serial.enable_plan_cache
+        top = TOP.config(base)
+        assert top.workers == 4 and top.enable_plan_cache
+
+
+class TestClassifyAndDemote:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SqlSyntaxError("nope"),
+            BindingError("unknown column"),
+            QueryTimeoutError("too slow"),
+        ],
+    )
+    def test_user_fatal_never_demotes(self, exc):
+        assert classify(exc) is None
+        assert demote(TOP, exc) is None
+
+    def test_fragment_failure_sheds_parallelism(self):
+        nxt = demote(TOP, FragmentError("worker gone"))
+        assert nxt is not None and not nxt.parallel
+        assert nxt.engine == TOP.engine  # only the parallel axis moves
+        serial = Rung(engine="row", parallel=False, cache=True)
+        assert demote(serial, WorkerPoolError("pool dead")) is None
+
+    def test_corruption_bypasses_cache(self):
+        nxt = demote(TOP, DataCorruptionError("bad checksum"))
+        assert nxt is not None and not nxt.cache
+        nocache = Rung(engine="row", parallel=False, cache=False)
+        assert demote(nocache, DataCorruptionError("still bad")) is None
+
+    def test_engine_ladder_walks_to_row(self):
+        exc = ExecutionError("kernel blew up")
+        r1 = demote(TOP, exc)
+        assert r1.engine == "batch"
+        r2 = demote(r1, exc)
+        assert r2.engine == "row"
+        # Row engine failing: shed the remaining axes before giving up.
+        r3 = demote(r2, exc)
+        assert r3 is not None and not r3.parallel
+        r4 = demote(r3, exc)
+        assert r4 is not None and not r4.cache
+        assert demote(r4, exc) is None
+
+    def test_step_down_total_order_terminates(self):
+        rung, seen = TOP, set()
+        while rung is not None:
+            assert rung.name not in seen  # no cycles
+            seen.add(rung.name)
+            rung = step_down(rung)
+        assert BOTTOM.name in seen
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, **kw):
+        defaults = dict(
+            window_s=10.0,
+            failure_threshold=0.5,
+            min_samples=4,
+            cooldown_s=5.0,
+            clock=clock,
+        )
+        defaults.update(kw)
+        return CircuitBreaker(**defaults)
+
+    def test_stays_closed_under_min_samples(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record(False)
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_opens_on_failure_rate(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for ok in (True, False, False, False):
+            breaker.record(ok)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_window_forgets_old_failures(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record(False)
+        clock.advance(11.0)  # past the window: the slate is clean
+        breaker.record(False)
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_recovers(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # second request still blocked
+        breaker.record(True)
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record(False)
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 2
+
+
+class TestDegradationSupervisor:
+    def test_success_on_top_rung(self):
+        supervisor = DegradationSupervisor(TOP)
+        result = supervisor.execute(lambda rung, sql: FakeResult(), "SELECT 1")
+        assert result.metrics.ladder_path == [TOP.name]
+        assert result.metrics.degradations == []
+
+    def test_walks_down_on_infrastructure_failure(self):
+        supervisor = DegradationSupervisor(TOP)
+        calls: list[str] = []
+
+        def run(rung, sql):
+            calls.append(rung.name)
+            if rung.engine == "compiled":
+                raise ExecutionError("kernel failure")
+            if rung.parallel:
+                raise FragmentError("pool wipeout")
+            return FakeResult()
+
+        result = supervisor.execute(run, "SELECT 1")
+        assert calls == [
+            "compiled|parallel|cache",
+            "batch|parallel|cache",
+            "batch|serial|cache",
+        ]
+        assert result.metrics.ladder_path == calls
+        assert len(result.metrics.degradations) == 2
+        assert "ExecutionError" in result.metrics.degradations[0]
+        assert "FragmentError" in result.metrics.degradations[1]
+
+    def test_user_fatal_surfaces_unchanged_without_tripping(self):
+        supervisor = DegradationSupervisor(
+            TOP,
+            breaker_factory=lambda: CircuitBreaker(
+                min_samples=1, failure_threshold=0.1
+            ),
+        )
+
+        def run(rung, sql):
+            raise SqlSyntaxError("bad sql")
+
+        with pytest.raises(SqlSyntaxError):
+            supervisor.execute(run, "NOT SQL")
+        # Typos must not poison the rung for other tenants.
+        assert supervisor.breaker(TOP.name).state == "closed"
+
+    def test_open_breakers_route_around_and_finally_raise(self):
+        clock = FakeClock()
+        supervisor = DegradationSupervisor(
+            TOP,
+            breaker_factory=lambda: CircuitBreaker(
+                min_samples=1,
+                failure_threshold=0.1,
+                cooldown_s=1e9,
+                clock=clock,
+            ),
+        )
+
+        def always_fail(rung, sql):
+            raise ExecutionError("everything is broken")
+
+        # One failing pass opens every rung's breaker on the way down.
+        with pytest.raises(ExecutionError):
+            supervisor.execute(always_fail, "SELECT 1")
+        with pytest.raises(CircuitOpenError):
+            supervisor.execute(always_fail, "SELECT 1")
+
+    def test_open_top_breaker_skips_straight_to_fallback(self):
+        clock = FakeClock()
+        supervisor = DegradationSupervisor(
+            TOP,
+            breaker_factory=lambda: CircuitBreaker(
+                min_samples=1,
+                failure_threshold=0.1,
+                cooldown_s=1e9,
+                clock=clock,
+            ),
+        )
+        supervisor.breaker(TOP.name).record(False)  # trip the top rung
+        calls: list[str] = []
+
+        def run(rung, sql):
+            calls.append(rung.name)
+            return FakeResult()
+
+        result = supervisor.execute(run, "SELECT 1")
+        assert calls == ["batch|parallel|cache"]
+        assert any("CircuitOpen" in d for d in result.metrics.degradations)

@@ -1,0 +1,179 @@
+"""QueryService end-to-end: real SQL through the whole server stack.
+
+Admission → queue → dispatch → degradation supervisor → session, with
+results checked against a plain serial session.  The error-boundary
+tests reach every server-owned error class through the public
+``submit``/``execute`` API (no internals poked).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.session import Session
+from repro.errors import (
+    AdmissionRejectedError,
+    BindingError,
+    QueryQueueTimeoutError,
+    ReproError,
+)
+from repro.optimizer.config import OptimizerConfig
+from repro.server.service import QueryService, ServiceConfig
+from repro.tpcds.generator import generate_dataset
+
+QUERIES = [
+    "SELECT COUNT(*) AS n FROM store_sales",
+    "SELECT ss_store_sk, SUM(ss_ext_sales_price) AS total "
+    "FROM store_sales GROUP BY ss_store_sk",
+    "SELECT d_year, COUNT(*) AS n FROM date_dim GROUP BY d_year",
+]
+
+
+@pytest.fixture(scope="module")
+def service_store():
+    return generate_dataset(scale=0.01, seed=7)
+
+
+@pytest.fixture(scope="module")
+def expected_rows(service_store):
+    with Session(service_store, OptimizerConfig(engine="batch")) as session:
+        return {sql: session.execute(sql).rows for sql in QUERIES}
+
+
+def _config(**kw) -> ServiceConfig:
+    defaults = dict(
+        base=OptimizerConfig(engine="batch", enable_plan_cache=True),
+        dispatchers=2,
+        health_interval_s=0.0,  # no pool in these configs
+    )
+    defaults.update(kw)
+    return ServiceConfig(**defaults)
+
+
+class TestEndToEnd:
+    def test_execute_matches_serial_session(self, service_store, expected_rows):
+        with QueryService(service_store, _config()) as service:
+            for sql in QUERIES:
+                assert service.execute(sql).rows == expected_rows[sql]
+            snap = service.metrics()
+            assert snap["completed"] == len(QUERIES)
+            assert snap["failed"] == 0
+
+    def test_concurrent_submitters_all_correct(
+        self, service_store, expected_rows
+    ):
+        with QueryService(service_store, _config()) as service:
+            nthreads = 6
+            barrier = threading.Barrier(nthreads)
+            failures: list[str] = []
+            lock = threading.Lock()
+
+            def client(index: int) -> None:
+                try:
+                    barrier.wait(10.0)
+                    for i in range(5):
+                        sql = QUERIES[(index + i) % len(QUERIES)]
+                        ticket = service.submit(sql)
+                        if ticket.result(60.0).rows != expected_rows[sql]:
+                            with lock:
+                                failures.append(f"{index}/{i}: wrong rows")
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    with lock:
+                        failures.append(f"{index}: {exc!r}")
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(nthreads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120.0)
+            assert failures == []
+            snap = service.metrics()
+            assert snap["completed"] == nthreads * 5
+            assert snap["latency_ms"]["p99"] > 0.0
+
+    def test_user_error_reaches_the_ticket(self, service_store):
+        with QueryService(service_store, _config()) as service:
+            with pytest.raises(BindingError):
+                service.execute("SELECT no_such_column FROM store_sales")
+            # A user error neither wedges the dispatcher nor the queue.
+            assert service.execute(QUERIES[0]).rows
+
+    def test_metrics_snapshot_shape(self, service_store):
+        with QueryService(service_store, _config()) as service:
+            service.execute(QUERIES[0])
+            snap = service.metrics()
+            assert {"submitted", "completed", "failed", "latency_ms"} <= set(
+                snap
+            )
+            assert {"p50", "p99", "max"} <= set(snap["latency_ms"])
+            assert "admission" in snap and "breakers" in snap
+
+
+class TestServerBoundaries:
+    def test_queue_depth_zero_rejects_every_submit(self, service_store):
+        config = _config(max_queue_depth=0)
+        with QueryService(service_store, config) as service:
+            with pytest.raises(AdmissionRejectedError) as excinfo:
+                service.submit(QUERIES[0])
+            assert excinfo.value.retry_after_ms > 0
+            assert service.metrics()["admission"]["rejected"] >= 1
+
+    def test_queue_timeout_zero_drops_every_ticket(self, service_store):
+        config = _config(queue_timeout_ms=0.0)
+        with QueryService(service_store, config) as service:
+            ticket = service.submit(QUERIES[0])
+            with pytest.raises(QueryQueueTimeoutError):
+                ticket.result(30.0)
+            assert service.metrics()["queue_timeouts"] >= 1
+
+    def test_tenant_quota_isolates_noisy_neighbour(self, service_store):
+        from repro.server.admission import TenantQuota
+
+        config = _config(
+            default_quota=TenantQuota(
+                max_in_flight=1, rate_per_s=1e6, burst=1000
+            ),
+            dispatchers=1,
+        )
+        with QueryService(service_store, config) as service:
+            first = service.submit(QUERIES[1], tenant="noisy")
+            # The noisy tenant's second concurrent query is shed...
+            rejected = False
+            try:
+                second = service.submit(QUERIES[1], tenant="noisy")
+            except AdmissionRejectedError:
+                rejected = True
+            else:
+                second.result(60.0)
+            # ...unless the first had already finished — either way the
+            # quiet tenant is never affected.
+            quiet = service.submit(QUERIES[0], tenant="quiet")
+            assert quiet.result(60.0).rows
+            first.result(60.0)
+            if rejected:
+                assert service.metrics()["admission"]["rejected_quota"] >= 1
+
+    def test_close_fails_queued_tickets(self, service_store):
+        config = _config(dispatchers=1, queue_timeout_ms=60_000.0)
+        service = QueryService(service_store, config)
+        tickets = [service.submit(sql) for sql in QUERIES * 3]
+        service.close()
+        outcomes = []
+        for ticket in tickets:
+            try:
+                ticket.result(10.0)
+                outcomes.append("ok")
+            except ReproError:
+                outcomes.append("failed")
+        # Every ticket resolved one way or the other: nothing hangs.
+        assert len(outcomes) == len(tickets)
+
+    def test_close_is_idempotent(self, service_store):
+        service = QueryService(service_store, _config())
+        service.close()
+        service.close()

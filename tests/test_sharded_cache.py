@@ -114,6 +114,119 @@ def test_concurrent_put_and_replay_are_safe():
     assert len(cache) == 800
 
 
+def _versioned(fingerprint: str, table: str, version: int) -> CacheEntry:
+    return CacheEntry(
+        fingerprint=fingerprint,
+        columns={"tok": [1, 2, 3]},
+        row_count=3,
+        nbytes=10.0,
+        tables=frozenset({table}),
+        table_versions=((table, version),),
+        saved_bytes=0.0,
+    )
+
+
+class TestEvictionRaceFence:
+    """`put` racing `invalidate_table` during a table-version bump must
+    never resurrect a stale entry (ISSUE 9, satellite b).  The fence is
+    the `min_version` floor recorded under the shard lock: a population
+    planned against the old version loses the race *deterministically*,
+    whichever side reaches the lock first."""
+
+    @pytest.mark.parametrize("make", [
+        lambda: PlanCache(1 << 20),
+        lambda: ShardedPlanCache(1 << 20, shards=4),
+    ])
+    def test_put_after_invalidate_is_fenced(self, make):
+        cache = make()
+        assert cache.put(_versioned("old", "orders", 1))
+        assert cache.invalidate_table("orders", min_version=2) == 1
+        # The racing population (planned against v1) arrives late: the
+        # old world must not come back.
+        assert not cache.put(_versioned("old", "orders", 1))
+        assert "old" not in cache
+        assert cache.stats.stale_rejected == 1
+        # A population against the *new* version is welcome.
+        assert cache.put(_versioned("new", "orders", 2))
+
+    def test_fence_is_monotonic(self):
+        cache = PlanCache(1 << 20)
+        cache.invalidate_table("orders", min_version=5)
+        # A lagging invalidation with an older version must not lower
+        # the floor.
+        cache.invalidate_table("orders", min_version=3)
+        assert not cache.put(_versioned("v4", "orders", 4))
+        assert cache.put(_versioned("v5", "orders", 5))
+
+    def test_clear_resets_the_fence(self):
+        cache = PlanCache(1 << 20)
+        cache.invalidate_table("orders", min_version=9)
+        cache.clear()
+        assert cache.put(_versioned("fresh", "orders", 1))
+
+    @pytest.mark.parametrize("seed", [3, 17, 1009])
+    def test_seeded_interleaving_never_resurrects(self, seed):
+        """Writers keep publishing v1 entries while an invalidator bumps
+        the table to v2 at a seeded random point; afterwards no v1 entry
+        may live in any shard, no matter who won each shard's lock."""
+        import random
+
+        rng = random.Random(seed)
+        cache = ShardedPlanCache(1 << 20, shards=4)
+        nwriters, per_writer = 4, 50
+        bump_after = rng.randrange(nwriters * per_writer)
+        published = threading.Semaphore(0)
+        start = threading.Barrier(nwriters + 1)
+
+        def writer(base: int) -> None:
+            start.wait(10.0)
+            for i in range(per_writer):
+                cache.put(_versioned(f"w{base}-{i}", "orders", 1))
+                published.release()
+
+        def invalidator() -> None:
+            start.wait(10.0)
+            for _ in range(bump_after):
+                published.acquire()
+            cache.invalidate_table("orders", min_version=2)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,))
+            for t in range(nwriters)
+        ] + [threading.Thread(target=invalidator)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60.0)
+        for shard in cache.shards:
+            for entry in shard.entries():
+                assert ("orders", 1) not in entry.table_versions, (
+                    f"stale v1 entry {entry.fingerprint} survived "
+                    f"the fence (seed={seed})"
+                )
+        # Everything either landed before the bump or was fenced.
+        stats = cache.stats
+        assert stats.populations + stats.stale_rejected == nwriters * per_writer
+
+    def test_session_reload_fences_inflight_population(self, tpcds_store):
+        """End to end: reload_table bumps the catalog version and the
+        cache refuses a population planned against the old version."""
+        config = OptimizerConfig(enable_plan_cache=True, cache_shards=4)
+        with Session(tpcds_store, config) as session:
+            sql = (
+                "SELECT ss_store_sk, count(*) FROM store_sales "
+                "GROUP BY ss_store_sk"
+            )
+            cold = session.execute(sql)
+            session.reload_table("store_sales")
+            # The old entry is gone and the fence is raised; the next
+            # run re-populates against the new version and reuses fine.
+            recold = session.execute(sql)
+            warm = session.execute(sql)
+            assert recold.rows == cold.rows == warm.rows
+            assert warm.metrics.cache_hits > 0
+
+
 def test_session_selects_cache_kind_from_config(tpcds_store):
     plain = Session(
         tpcds_store, OptimizerConfig(enable_plan_cache=True, cache_shards=1)

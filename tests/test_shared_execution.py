@@ -1,0 +1,159 @@
+"""Concurrent shared execution: pay one, get hundreds for free.
+
+Covers the in-flight registry (leader election, follower fan-out,
+failure fallback) and the end-to-end behaviour of fingerprint-equal
+queries arriving concurrently on one session: one execution, identical
+rows everywhere, and bytes charged once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.plan_cache import (
+    CacheEntry,
+    InflightRegistry,
+    PlanCache,
+    ShardedPlanCache,
+)
+from repro.engine.session import Session
+from repro.optimizer.config import OptimizerConfig
+from repro.tpcds.generator import generate_dataset
+
+
+def _entry(fingerprint: str) -> CacheEntry:
+    return CacheEntry(
+        fingerprint=fingerprint,
+        columns={"tok": [1, 2, 3]},
+        row_count=3,
+        nbytes=100.0,
+        tables=frozenset(),
+        table_versions=(),
+        saved_bytes=0.0,
+    )
+
+
+class TestInflightRegistry:
+    def test_first_claim_leads_rest_follow(self):
+        registry = InflightRegistry()
+        is_leader, execution = registry.claim("fp")
+        assert is_leader
+        for _ in range(3):
+            again, same = registry.claim("fp")
+            assert not again and same is execution
+        assert registry.leaders == 1 and registry.followers == 3
+
+    def test_publish_fans_out_and_clears(self):
+        registry = InflightRegistry()
+        _, execution = registry.claim("fp")
+        registry.claim("fp")
+        entry = _entry("fp")
+        assert registry.publish(execution, entry) == 1
+        assert execution.ready.is_set()
+        assert execution.entry is entry
+        # The fingerprint is free again: the next claim leads.
+        is_leader, fresh = registry.claim("fp")
+        assert is_leader and fresh is not execution
+
+    def test_entry_lands_before_ready_fires(self):
+        # A follower woken by ``ready`` must always see the entry — the
+        # publish ordering (entry, then pop, then set) guarantees it.
+        registry = InflightRegistry()
+        _, execution = registry.claim("fp")
+        seen = {}
+        woke = threading.Event()
+
+        def follower():
+            execution.ready.wait(5.0)
+            seen["entry"] = execution.entry
+            woke.set()
+
+        thread = threading.Thread(target=follower)
+        thread.start()
+        registry.publish(execution, _entry("fp"))
+        assert woke.wait(5.0)
+        thread.join()
+        assert seen["entry"] is not None
+
+    def test_fail_releases_followers_to_run_locally(self):
+        registry = InflightRegistry()
+        _, execution = registry.claim("fp")
+        registry.claim("fp")
+        registry.fail(execution)
+        assert execution.ready.is_set()
+        assert execution.failed and execution.entry is None
+        # The failed execution no longer blocks new leaders.
+        is_leader, _ = registry.claim("fp")
+        assert is_leader
+
+    def test_registries_live_on_both_cache_kinds(self):
+        assert isinstance(PlanCache(1 << 20).inflight, InflightRegistry)
+        sharded = ShardedPlanCache(1 << 20, shards=4)
+        assert isinstance(sharded.inflight, InflightRegistry)
+        # One registry across all shards: leadership is global.
+        assert sharded.inflight is not sharded.shards[0]
+
+
+class TestConcurrentSharedExecution:
+    #: The studied pattern: many dashboards firing the same aggregate.
+    SQL = (
+        "SELECT ss_store_sk, SUM(ss_ext_sales_price) AS total "
+        "FROM store_sales GROUP BY ss_store_sk"
+    )
+
+    def _store(self):
+        return generate_dataset(scale=0.01, seed=7)
+
+    def test_identical_rows_across_concurrent_threads(self):
+        store = self._store()
+        serial = Session(store, OptimizerConfig(engine="batch"))
+        expected = serial.execute(self.SQL).rows
+        session = Session(
+            store,
+            OptimizerConfig(engine="batch", enable_plan_cache=True),
+        )
+        nthreads = 8
+        barrier = threading.Barrier(nthreads)
+        rows_by_thread: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                barrier.wait(10.0)
+                rows_by_thread[index] = session.execute(self.SQL).rows
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(nthreads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        assert len(rows_by_thread) == nthreads
+        for rows in rows_by_thread.values():
+            assert rows == expected
+        cache = session.plan_cache
+        # Exactly as many real executions as leader elections: every
+        # other concurrent arrival was a follower or a cache replay.
+        assert cache.stats.populations + cache.stats.rejected >= 1
+        assert cache.inflight.leaders >= 1
+
+    def test_follower_replay_counts_bytes_saved(self):
+        store = self._store()
+        session = Session(
+            store, OptimizerConfig(engine="batch", enable_plan_cache=True)
+        )
+        first = session.execute(self.SQL)
+        second = session.execute(self.SQL)
+        assert second.rows == first.rows
+        # Warm path replays without rescanning the fact table.
+        assert (
+            second.metrics.cache_hits >= 1 or second.metrics.shared_hits >= 1
+        )
+        assert (
+            second.metrics.accounting.bytes_scanned
+            < first.metrics.accounting.bytes_scanned
+        )
