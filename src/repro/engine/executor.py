@@ -279,8 +279,14 @@ def _materialize_for_cache(plan: CachePopulate, ctx: RunContext, rows_of) -> lis
         is_leader, execution = registry.claim(plan.fingerprint)
         if not is_leader:
             entry = _await_inflight(execution, ctx)
-            if entry is not None and all(
-                token in entry.columns for token in plan.column_tokens
+            # Fingerprints are semantic (version-free), so a leader
+            # that planned before a reload_table can publish an entry
+            # built against retired table versions — a follower planned
+            # after the bump must not replay it.
+            if (
+                entry is not None
+                and entry.table_versions == plan.table_versions
+                and all(token in entry.columns for token in plan.column_tokens)
             ):
                 return _replay_inflight_entry(plan, ctx, entry)
             # Leader failed or the wait capped out: execute locally,
@@ -307,8 +313,17 @@ def _materialize_for_cache(plan: CachePopulate, ctx: RunContext, rows_of) -> lis
         if execution is not None:
             registry.fail(execution)
         raise
-    if execution is not None and registry.publish(execution, entry):
-        ctx.metrics.shared_fanout += 1
+    if execution is not None:
+        stale = getattr(cache, "is_stale", None)
+        if stale is not None and stale(entry):
+            # A concurrent invalidate_table fenced off this entry's
+            # table versions while it was being materialized (put()
+            # refused it as stale_rejected); fanning it out would serve
+            # rows from the replaced table.  Fail the execution so
+            # followers run against current data themselves.
+            registry.fail(execution)
+        elif registry.publish(execution, entry):
+            ctx.metrics.shared_fanout += 1
     return rows
 
 

@@ -331,6 +331,19 @@ class PlanCache:
             self.stats.invalidations += 1
             return True
 
+    def is_stale(self, entry: CacheEntry) -> bool:
+        """Was ``entry`` built against a table version that a
+        concurrent ``invalidate_table`` has since fenced off?  The
+        shared-execution leader checks this before fanning its result
+        out to followers: fingerprints are version-free, so an entry
+        :meth:`put` refused as stale must not be published either.
+        Min-versions only ever rise, so a True answer is final."""
+        with self._lock:
+            return any(
+                version < self._min_versions.get(table, 0)
+                for table, version in entry.table_versions
+            )
+
     def invalidate_table(self, table: str, min_version: int | None = None) -> int:
         """Eagerly evict every entry whose lineage includes ``table``;
         returns how many were dropped.
@@ -494,6 +507,11 @@ class ShardedPlanCache:
         shard, lock = self._shard(fingerprint)
         with lock:
             return shard.evict(fingerprint)
+
+    def is_stale(self, entry: CacheEntry) -> bool:
+        shard, lock = self._shard(entry.fingerprint)
+        with lock:
+            return shard.is_stale(entry)
 
     def invalidate_table(self, table: str, min_version: int | None = None) -> int:
         dropped = 0

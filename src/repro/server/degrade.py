@@ -174,6 +174,7 @@ class CircuitBreaker:
         self._state = "closed"
         self._opened_at = 0.0
         self._probe_out = False
+        self._probe_at = 0.0
         self.trips = 0
 
     @property
@@ -195,11 +196,26 @@ class CircuitBreaker:
                 self._state = "half_open"
                 self._probe_out = False
             if self._state == "half_open":
-                if self._probe_out:
+                if self._probe_out and now - self._probe_at < self.cooldown_s:
                     return False
+                # No probe out, or the outstanding probe never reported
+                # back within a cooldown (its caller died, or hit a
+                # user-fatal error that says nothing about the rung's
+                # health): issue a fresh probe rather than leaving the
+                # rung wedged shut forever.
                 self._probe_out = True
+                self._probe_at = now
                 return True
             return True
+
+    def probe_abort(self) -> None:
+        """The in-flight half-open probe ended without a verdict on the
+        rung's health (a user-fatal error is the query's fault, not the
+        rung's): free the probe slot so the next request can probe
+        immediately instead of waiting out the reissue cooldown."""
+        with self._lock:
+            if self._state == "half_open":
+                self._probe_out = False
 
     def record(self, ok: bool) -> None:
         with self._lock:
@@ -274,9 +290,13 @@ class DegradationSupervisor:
             except Exception as exc:
                 # User-fatal errors (bad SQL, blown budgets) say nothing
                 # about the rung's health — recording them would let one
-                # tenant's typos open the breaker for everyone.
+                # tenant's typos open the breaker for everyone.  But if
+                # this request held the half-open probe slot, the slot
+                # must be returned or the rung wedges shut.
                 if classify(exc) is not None:
                     breaker.record(False)
+                else:
+                    breaker.probe_abort()
                 nxt = demote(rung, exc)
                 if nxt is None:
                     raise

@@ -30,6 +30,7 @@ import itertools
 import queue as queue_module
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.engine.parallel import WorkerPool
@@ -42,6 +43,11 @@ from repro.server.degrade import CircuitBreaker, DegradationSupervisor, Rung
 
 #: Dispatcher queue-poll period (seconds): bounds shutdown latency.
 _DISPATCH_POLL_S = 0.05
+
+#: Latency reservoir size: percentiles are computed over the most
+#: recent this-many completions, so a long-running service neither
+#: grows without bound nor sorts an ever-larger list per snapshot.
+_LATENCY_RESERVOIR = 4096
 
 
 @dataclass
@@ -142,13 +148,16 @@ class _ServiceMetrics:
         self.shared_fanout = 0
         self.cache_hits = 0
         self.bytes_scanned = 0.0
-        self.latencies_ms: list[float] = []
+        self.latencies_ms: deque[float] = deque(maxlen=_LATENCY_RESERVOIR)
+        self.latency_max_ms = 0.0
         self.errors_by_type: dict[str, int] = {}
 
     def record_success(self, latency_ms: float, metrics) -> None:
         with self._lock:
             self.completed += 1
             self.latencies_ms.append(latency_ms)
+            if latency_ms > self.latency_max_ms:
+                self.latency_max_ms = latency_ms
             self.degradations += len(metrics.degradations)
             self.shared_hits += metrics.shared_hits
             self.shared_fanout += metrics.shared_fanout
@@ -191,7 +200,7 @@ class _ServiceMetrics:
                 "latency_ms": {
                     "p50": self._percentile(latencies, 0.50),
                     "p99": self._percentile(latencies, 0.99),
-                    "max": latencies[-1] if latencies else 0.0,
+                    "max": self.latency_max_ms,
                 },
             }
 
@@ -250,6 +259,11 @@ class QueryService:
         self._seq = itertools.count()
         self._metrics = _ServiceMetrics()
         self._stop = threading.Event()
+        #: Fences ``submit`` against ``close``: the stop flag is only
+        #: set (and checked) under this lock, so a ticket can never be
+        #: enqueued after close() drained the queue — it would hang its
+        #: caller forever and leak the tenant's admission slot.
+        self._submit_lock = threading.Lock()
         self._threads: list[threading.Thread] = []
         for i in range(self.config.dispatchers):
             thread = threading.Thread(
@@ -269,12 +283,13 @@ class QueryService:
     def submit(self, sql: str, tenant: str = "default") -> QueryTicket:
         """Admit + enqueue one query; raises
         :class:`~repro.errors.AdmissionRejectedError` when shed."""
-        if self._stop.is_set():
-            raise ReproError("the query service is closed")
-        self._metrics.record_submit()
-        quota = self.admission.admit(tenant)  # raises on rejection
-        ticket = QueryTicket(sql, tenant, quota.priority, next(self._seq))
-        self._queue.put(ticket)
+        with self._submit_lock:
+            if self._stop.is_set():
+                raise ReproError("the query service is closed")
+            self._metrics.record_submit()
+            quota = self.admission.admit(tenant)  # raises on rejection
+            ticket = QueryTicket(sql, tenant, quota.priority, next(self._seq))
+            self._queue.put(ticket)
         return ticket
 
     def execute(self, sql: str, tenant: str = "default") -> QueryResult:
@@ -320,9 +335,12 @@ class QueryService:
 
     def close(self) -> None:
         """Stop dispatchers, fail queued tickets, release resources."""
-        if self._stop.is_set():
-            return
-        self._stop.set()
+        with self._submit_lock:
+            if self._stop.is_set():
+                return
+            self._stop.set()
+        # Any submit that won the lock race enqueued before the stop
+        # flag was set, so the drain below is guaranteed to see it.
         for thread in self._threads:
             thread.join(timeout=10.0)
         while True:

@@ -182,6 +182,36 @@ class TestCircuitBreaker:
         assert not breaker.allow()
         assert breaker.trips == 2
 
+    def test_aborted_probe_frees_the_slot(self):
+        # A probe that ends without a verdict on the rung's health (a
+        # user-fatal error) must hand the slot back, not wedge the rung
+        # shut forever.
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.probe_abort()
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # next request probes immediately
+        breaker.record(True)
+        assert breaker.state == "closed"
+
+    def test_lost_probe_reissues_after_cooldown(self):
+        # A probe whose caller never reports back at all (crash, missed
+        # abort) is reissued after a cooldown instead of permanently
+        # disabling the rung.
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()
+
 
 class TestDegradationSupervisor:
     def test_success_on_top_rung(self):
@@ -249,6 +279,43 @@ class TestDegradationSupervisor:
             supervisor.execute(always_fail, "SELECT 1")
         with pytest.raises(CircuitOpenError):
             supervisor.execute(always_fail, "SELECT 1")
+
+    def test_user_fatal_probe_does_not_wedge_the_rung(self):
+        # A user-fatal error on the half-open probe carries no verdict
+        # on the rung's health; the supervisor must return the probe
+        # slot so the next query can probe and close the breaker —
+        # without this the rung degrades forever.
+        clock = FakeClock()
+        supervisor = DegradationSupervisor(
+            BOTTOM,
+            breaker_factory=lambda: CircuitBreaker(
+                min_samples=2,
+                failure_threshold=0.5,
+                cooldown_s=5.0,
+                clock=clock,
+            ),
+        )
+
+        def infra_fail(rung, sql):
+            raise ExecutionError("boom")
+
+        for _ in range(2):  # open the bottom rung's breaker
+            with pytest.raises(ExecutionError):
+                supervisor.execute(infra_fail, "SELECT 1")
+        assert supervisor.breaker(BOTTOM.name).state == "open"
+        clock.advance(5.0)
+
+        def user_fatal(rung, sql):
+            raise QueryTimeoutError("deadline blown")
+
+        # This query takes the half-open probe slot and ends user-fatal.
+        with pytest.raises(QueryTimeoutError):
+            supervisor.execute(user_fatal, "SELECT 1")
+        # The slot was returned: a healthy query probes and recovers
+        # (a wedged breaker would raise CircuitOpenError here instead).
+        result = supervisor.execute(lambda rung, sql: FakeResult(), "SELECT 1")
+        assert result.metrics.ladder_path == [BOTTOM.name]
+        assert supervisor.breaker(BOTTOM.name).state == "closed"
 
     def test_open_top_breaker_skips_straight_to_fallback(self):
         clock = FakeClock()

@@ -9,6 +9,7 @@ tests reach every server-owned error class through the public
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -113,6 +114,30 @@ class TestEndToEnd:
             assert {"p50", "p99", "max"} <= set(snap["latency_ms"])
             assert "admission" in snap and "breakers" in snap
 
+    def test_latency_reservoir_is_bounded(self):
+        # A long-running service must not accumulate one float per
+        # completed query forever; percentiles come from a bounded
+        # window while max stays all-time.
+        from repro.server.service import _LATENCY_RESERVOIR, _ServiceMetrics
+
+        class _M:
+            degradations = ()
+            shared_hits = 0
+            shared_fanout = 0
+            cache_hits = 0
+            accounting = type("A", (), {"bytes_scanned": 0.0})()
+
+        metrics = _ServiceMetrics()
+        metrics.record_success(9_999_999.0, _M())  # will age out below
+        for i in range(_LATENCY_RESERVOIR + 500):
+            metrics.record_success(float(i + 1), _M())
+        assert len(metrics.latencies_ms) == _LATENCY_RESERVOIR
+        snap = metrics.snapshot()
+        assert snap["completed"] == _LATENCY_RESERVOIR + 501
+        # The all-time max survives its sample aging out of the window.
+        assert snap["latency_ms"]["max"] == 9_999_999.0
+        assert snap["latency_ms"]["p50"] >= 500.0
+
 
 class TestServerBoundaries:
     def test_queue_depth_zero_rejects_every_submit(self, service_store):
@@ -177,3 +202,55 @@ class TestServerBoundaries:
         service = QueryService(service_store, _config())
         service.close()
         service.close()
+
+    def test_submit_racing_close_never_strands_a_ticket(self, service_store):
+        # submit and close are fenced by one lock: a ticket that makes
+        # it past submit is either dispatched or failed by the drain —
+        # its caller must never block forever in result().
+        from repro.server.admission import TenantQuota
+
+        config = _config(
+            dispatchers=2,
+            default_quota=TenantQuota(
+                max_in_flight=1000, rate_per_s=1e6, burst=1000
+            ),
+        )
+        service = QueryService(service_store, config)
+        tickets: list = []
+        lock = threading.Lock()
+        start = threading.Barrier(5)
+
+        def submitter() -> None:
+            start.wait(10.0)
+            while True:
+                try:
+                    ticket = service.submit(QUERIES[0])
+                except (ReproError, AdmissionRejectedError) as exc:
+                    if isinstance(exc, AdmissionRejectedError):
+                        continue  # queue full: shed, try again
+                    return  # service closed: done racing
+                with lock:
+                    tickets.append(ticket)
+
+        threads = [threading.Thread(target=submitter) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        start.wait(10.0)
+        # Close while the submitters are mid-flight, not before their
+        # first submit ever lands.
+        deadline = time.monotonic() + 10.0
+        while True:
+            with lock:
+                if len(tickets) >= 10:
+                    break
+            assert time.monotonic() < deadline, "submitters never got going"
+            time.sleep(0.001)
+        service.close()
+        for thread in threads:
+            thread.join(30.0)
+        assert tickets
+        for ticket in tickets:
+            try:
+                ticket.result(30.0)  # must resolve, never time out
+            except ReproError:
+                pass

@@ -9,7 +9,9 @@ rows everywhere, and bytes charged once.
 from __future__ import annotations
 
 import threading
+import time
 
+from repro.algebra.types import DataType
 from repro.engine.plan_cache import (
     CacheEntry,
     InflightRegistry,
@@ -18,7 +20,9 @@ from repro.engine.plan_cache import (
 )
 from repro.engine.session import Session
 from repro.optimizer.config import OptimizerConfig
+from repro.storage.columnar import Store
 from repro.tpcds.generator import generate_dataset
+from tests.conftest import simple_table
 
 
 def _entry(fingerprint: str) -> CacheEntry:
@@ -92,6 +96,134 @@ class TestInflightRegistry:
         assert isinstance(sharded.inflight, InflightRegistry)
         # One registry across all shards: leadership is global.
         assert sharded.inflight is not sharded.shards[0]
+
+
+def _versioned_entry(fingerprint: str, table: str, version: int) -> CacheEntry:
+    return CacheEntry(
+        fingerprint=fingerprint,
+        columns={"tok": [1, 2, 3]},
+        row_count=3,
+        nbytes=10.0,
+        tables=frozenset({table}),
+        table_versions=((table, version),),
+        saved_bytes=0.0,
+    )
+
+
+class TestIsStale:
+    def test_tracks_the_invalidation_fence(self):
+        for cache in (PlanCache(1 << 20), ShardedPlanCache(1 << 20, shards=4)):
+            entry = _versioned_entry("fp", "orders", 1)
+            assert not cache.is_stale(entry)
+            cache.invalidate_table("orders", min_version=2)
+            assert cache.is_stale(entry)
+            assert not cache.is_stale(_versioned_entry("fp", "orders", 2))
+
+    def test_unrelated_tables_never_go_stale(self):
+        cache = PlanCache(1 << 20)
+        cache.invalidate_table("orders", min_version=9)
+        assert not cache.is_stale(_versioned_entry("fp", "people", 1))
+
+
+class _ScanGate:
+    """One-shot fault-injector stand-in: the first chunk read against
+    ``table`` parks its thread until released, so a test can interleave
+    a reload and a second query with a scan deterministically."""
+
+    def __init__(self, table: str):
+        self._table = table.lower()
+        self._lock = threading.Lock()
+        self._armed = True
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def on_get(self, name, metrics=None) -> None:
+        pass
+
+    def on_chunk_read(self, site, chunk, attempt, metrics=None) -> None:
+        if site[0] != self._table:
+            return
+        with self._lock:
+            if not self._armed:
+                return
+            self._armed = False
+        self.entered.set()
+        assert self.release.wait(30.0), "scan gate never released"
+
+
+class TestStaleFanoutFence:
+    """Fingerprints are version-free, so the in-flight registry must
+    not fan out an entry whose table versions a concurrent
+    ``reload_table`` retired: the leader fails the execution instead of
+    publishing, and a follower planned against the new version refuses
+    a version-mismatched entry.  Without both fences a follower would
+    serve rows from the replaced table."""
+
+    SQL = "SELECT k, SUM(v) AS total FROM t GROUP BY k"
+
+    @staticmethod
+    def _table(rows):
+        return simple_table(
+            "t",
+            [("k", DataType.INTEGER), ("v", DataType.INTEGER)],
+            rows,
+        )
+
+    def test_reload_mid_flight_never_fans_out_stale_rows(self):
+        store = Store()
+        store.put(self._table([(1, 10), (2, 20)]))
+        session = Session(
+            store, OptimizerConfig(engine="batch", enable_plan_cache=True)
+        )
+        gate = _ScanGate("t")
+        store.fault_injector = gate
+        errors: list[BaseException] = []
+        follower_result: dict[str, object] = {}
+
+        def leader() -> None:
+            try:
+                session.execute(self.SQL)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def follower() -> None:
+            try:
+                result = session.execute(self.SQL)
+                follower_result["rows"] = result.rows
+                follower_result["shared_hits"] = result.metrics.shared_hits
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        # The leader has claimed the fingerprint and is parked mid-scan.
+        assert gate.entered.wait(10.0)
+        # Replace the table under it: the catalog version bumps and the
+        # cache fence rises, so the leader's entry is now stale.
+        store.put(self._table([(1, 11), (2, 22)]))
+        session.reload_table("t")
+        follower_thread = threading.Thread(target=follower)
+        follower_thread.start()
+        # Wait until the follower is bound to the leader's execution,
+        # then let the leader finish and try to publish.
+        deadline = time.monotonic() + 10.0
+        while session.plan_cache.inflight.followers < 1:
+            assert time.monotonic() < deadline, "follower never bound"
+            time.sleep(0.005)
+        gate.release.set()
+        leader_thread.join(30.0)
+        follower_thread.join(30.0)
+        assert not errors
+        # The follower executed against the replaced table itself — it
+        # must not have replayed the leader's stale entry.
+        assert follower_result["shared_hits"] == 0
+        expected = Session(store, OptimizerConfig(engine="batch")).execute(self.SQL).rows
+        assert sorted(follower_result["rows"]) == sorted(expected)
+        assert sorted(expected) == [(1, 11), (2, 22)]
+        assert session.plan_cache.stats.stale_rejected >= 1
+        # Nothing built against v1 survives anywhere in the cache.
+        for entry in session.plan_cache.entries():
+            assert ("t", 1) not in entry.table_versions
 
 
 class TestConcurrentSharedExecution:
