@@ -8,7 +8,20 @@
 3. **Cost-heuristic threshold** — §IV.E applicability: raising
    ``fusion_min_rows`` above the fact-table cardinality must disable
    scan-only rewrites.
+4. **Cost-based selection** — DESIGN.md §15: the costed pipeline must
+   still fire the profitable fusions (and match their savings) while
+   declining the row-replicating fusion of narrow scans.  Running this
+   module directly (``python benchmarks/bench_ablation.py``) emits the
+   costed-vs-heuristic comparison as ``BENCH_costs.json``.
 """
+
+import os
+import sys
+
+if __package__ in (None, ""):
+    # Standalone `python benchmarks/bench_ablation.py`: make the
+    # `benchmarks` package importable from the repo root.
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from dataclasses import replace
 
@@ -107,3 +120,209 @@ def test_cost_threshold_disables_scan_only_rewrites(benchmark, store):
         "default threshold enables it",
     )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+# ---------------------------------------------------------------------------
+# Cost-based selection (DESIGN.md §15)
+# ---------------------------------------------------------------------------
+
+COST_SECTION = "Ablation: cost-based rewrite selection (DESIGN.md §15)"
+
+FUSION_RULES = {
+    "groupby_join_to_window",
+    "join_on_keys",
+    "union_all_fusion",
+    "union_all_on_join",
+}
+
+#: Fusing this UNION ALL cross-joins every store_sales row against a
+#: 2-row tag table to save one re-scan of two narrow integer columns —
+#: the SystemML counterexample to always-fuse.  The cost model must
+#: decline it; the heuristic pipeline always fires.
+COST_DECLINE_SQL = (
+    "SELECT ss_item_sk, ss_quantity FROM store_sales WHERE ss_quantity > 10 "
+    "UNION ALL "
+    "SELECT ss_item_sk, ss_quantity FROM store_sales WHERE ss_quantity > 40"
+)
+
+
+def test_cost_based_accepts_profitable_fusion(benchmark, store, baseline):
+    """Costed q09 fires the same fusion as the heuristic pipeline and
+    matches its scan savings exactly."""
+    benchmark.group = "ablation:cost-based"
+    benchmark.name = "q09-accept"
+    sql = STUDIED_QUERIES["q09"]
+
+    costed_session = Session(store, OptimizerConfig(cost_based=True))
+    costed = Prepared(costed_session, sql)
+    heuristic = Prepared(Session(store, OptimizerConfig()), sql)
+    base = Prepared(baseline, sql)
+
+    rows_costed, costed_metrics = costed.run()
+    rows_heuristic, heuristic_metrics = heuristic.run()
+    rows_base, base_metrics = base.run()
+    assert sorted_rows(rows_costed) == sorted_rows(rows_base)
+    assert sorted_rows(rows_heuristic) == sorted_rows(rows_base)
+    assert costed_metrics.bytes_scanned == heuristic_metrics.bytes_scanned
+    assert costed_metrics.bytes_scanned < base_metrics.bytes_scanned
+    assert FUSION_RULES & set(costed_session.execute(sql).fired_rules)
+
+    benchmark.pedantic(costed.run, rounds=3, iterations=1)
+    record(
+        COST_SECTION,
+        "q09-accept",
+        f"costed fusion keeps the win: bytes="
+        f"{costed_metrics.bytes_scanned/base_metrics.bytes_scanned*100:5.1f}% "
+        f"of baseline, identical to always-fuse",
+    )
+
+
+def test_cost_based_declines_row_replicating_fusion(benchmark, store):
+    """Costed pipeline declines the narrow-scan UNION ALL fusion the
+    heuristic always fires, avoiding the cross-join row replication."""
+    benchmark.group = "ablation:cost-based"
+    benchmark.name = "narrow-union-decline"
+
+    costed_session = Session(store, OptimizerConfig(cost_based=True))
+    heuristic_session = Session(store, OptimizerConfig())
+    costed_result = costed_session.execute(COST_DECLINE_SQL)
+    heuristic_result = heuristic_session.execute(COST_DECLINE_SQL)
+    assert "union_all_fusion" in set(heuristic_result.fired_rules)
+    assert "union_all_fusion" not in set(costed_result.fired_rules)
+    assert "union_all_fusion.cost_declined" in set(costed_result.fired_rules)
+    assert costed_result.sorted_rows() == heuristic_result.sorted_rows()
+
+    costed = Prepared(costed_session, COST_DECLINE_SQL)
+    heuristic = Prepared(heuristic_session, COST_DECLINE_SQL)
+    _, costed_metrics = costed.run()
+    _, heuristic_metrics = heuristic.run()
+
+    benchmark.pedantic(costed.run, rounds=3, iterations=1)
+    record(
+        COST_SECTION,
+        "narrow-union",
+        f"declined: {costed_metrics.wall_time_s*1000:7.1f}ms vs always-fuse "
+        f"{heuristic_metrics.wall_time_s*1000:7.1f}ms",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Standalone BENCH_costs.json emitter
+# ---------------------------------------------------------------------------
+
+
+def _measure(session, sql, rounds):
+    """Plan once, run ``rounds`` times; min wall ms + cold metrics."""
+    prepared = Prepared(session, sql)
+    rows, metrics = prepared.run()
+    wall_ms = metrics.wall_time_s * 1000.0
+    for _ in range(rounds - 1):
+        _, again = prepared.run()
+        wall_ms = min(wall_ms, again.wall_time_s * 1000.0)
+    fired = sorted(set(session.execute(sql).fired_rules))
+    return {
+        "rows": sorted_rows(rows),
+        "bytes_scanned": metrics.bytes_scanned,
+        "wall_ms": round(wall_ms, 2),
+        "fired_rules": fired,
+    }
+
+
+def run_cost_bench(scale: float, rounds: int = 3) -> dict:
+    """The BENCH_costs.json payload: baseline vs always-fuse vs costed
+    on the accept showcases (q09/q65) and the decline showcase."""
+    from repro.tpcds.generator import generate_dataset
+
+    store = generate_dataset(scale=scale, seed=7)
+    workloads = [
+        ("q09", STUDIED_QUERIES["q09"], "accept"),
+        ("q65", STUDIED_QUERIES["q65"], "accept"),
+        ("narrow-union", COST_DECLINE_SQL, "decline"),
+    ]
+    report = {"scale": scale, "rounds": rounds, "workloads": [], "checks": {}}
+    accept_wins = 0
+    declines = 0
+    for name, sql, kind in workloads:
+        cells = {
+            "baseline": _measure(
+                Session(store, OptimizerConfig(enable_fusion=False)), sql, rounds
+            ),
+            "heuristic": _measure(Session(store, OptimizerConfig()), sql, rounds),
+            "costed": _measure(
+                Session(store, OptimizerConfig(cost_based=True)), sql, rounds
+            ),
+        }
+        identical = (
+            cells["baseline"]["rows"]
+            == cells["heuristic"]["rows"]
+            == cells["costed"]["rows"]
+        )
+        costed_fired = set(cells["costed"]["fired_rules"])
+        entry = {
+            "name": name,
+            "kind": kind,
+            "identical_results": identical,
+        }
+        if kind == "accept":
+            won = (
+                identical
+                and bool(FUSION_RULES & costed_fired)
+                and cells["costed"]["bytes_scanned"]
+                < cells["baseline"]["bytes_scanned"]
+                and cells["costed"]["bytes_scanned"]
+                == cells["heuristic"]["bytes_scanned"]
+            )
+            accept_wins += won
+            entry["accepted_and_won"] = won
+        else:
+            declined = (
+                identical
+                and not (FUSION_RULES & costed_fired)
+                and any(r.endswith(".cost_declined") for r in costed_fired)
+                and cells["costed"]["wall_ms"] < cells["heuristic"]["wall_ms"]
+            )
+            declines += declined
+            entry["correctly_declined"] = declined
+        for cell, data in cells.items():
+            entry[cell] = {k: v for k, v in data.items() if k != "rows"}
+        report["workloads"].append(entry)
+    report["checks"] = {
+        "accept_and_win": accept_wins >= 1,
+        "correct_decline": declines >= 1,
+        "all_identical": all(w["identical_results"] for w in report["workloads"]),
+    }
+    report["ok"] = all(report["checks"].values())
+    return report
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="Emit BENCH_costs.json: cost-based vs always-fuse ablation"
+    )
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_costs.json")
+    args = parser.parse_args(argv)
+
+    report = run_cost_bench(args.scale, rounds=args.rounds)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    for workload in report["workloads"]:
+        verdict = workload.get("accepted_and_won", workload.get("correctly_declined"))
+        print(
+            f"{workload['name']:<14} {workload['kind']:<7} "
+            f"costed={workload['costed']['wall_ms']:8.2f}ms "
+            f"heuristic={workload['heuristic']['wall_ms']:8.2f}ms "
+            f"baseline={workload['baseline']['wall_ms']:8.2f}ms "
+            f"{'OK' if verdict else 'FAIL'}"
+        )
+    print(f"checks: {report['checks']}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

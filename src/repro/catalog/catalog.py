@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.algebra.schema import Column, ColumnAllocator
-from repro.algebra.types import DataType
+from repro.algebra.types import DataType, encoded_bytes
 from repro.errors import CatalogError
 
 
@@ -93,6 +93,15 @@ class Catalog:
 
     def column_stats(self, table: str, column: str) -> ColumnStats | None:
         return self._column_stats.get((table.lower(), column.lower()))
+
+    def column_width(self, table: str, column: str) -> float:
+        """Encoded bytes per value of one stored column (the average
+        measured at load time for strings, the type's fixed width
+        otherwise).  The cost model prices scans with it."""
+        for c in self.table(table).columns:
+            if c.name.lower() == column.lower():
+                return encoded_bytes(c.dtype, c.avg_string_bytes)
+        return encoded_bytes(DataType.STRING)
 
     def register(self, table: TableDef) -> None:
         """Register (or re-register) a table definition.

@@ -193,6 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(models the S3 regime where parallel fragments overlap I/O "
         "waits; default 0)",
     )
+    parser.add_argument(
+        "--cost-based",
+        action="store_true",
+        help="cost-based rewrite selection: price fusion candidates, "
+        "semi-join conversion, join order, and cache-populate "
+        "placement (bytes scanned + rows processed) instead of firing "
+        "on the heuristics alone",
+    )
     return parser
 
 
@@ -245,6 +253,14 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         "> 1 re-runs every query on the batch engine with that many "
         "fragment workers (e.g. --workers 2 4)",
     )
+    parser.add_argument(
+        "--cost-based",
+        action="store_true",
+        help="add costed cells to the matrix: the batch engine re-runs "
+        "every query with cost-based rewrite selection (fusion on/off "
+        "x cache cold/warm); costed plans must agree with heuristic "
+        "plans row for row",
+    )
     return parser
 
 
@@ -274,6 +290,7 @@ def fuzz_main(argv: list[str]) -> int:
         fail_fast=args.fail_fast,
         analysis=not args.no_analysis,
         workers=tuple(args.workers),
+        cost_axis=args.cost_based,
         progress=progress,
     )
     print(report.summary())
@@ -522,6 +539,7 @@ def main(argv: list[str] | None = None) -> int:
         "workers": args.workers,
         "cache_shards": args.cache_shards,
         "io_latency_ms": args.io_latency_ms,
+        "cost_based": args.cost_based,
     }
     try:
         if args.compare:

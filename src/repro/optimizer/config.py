@@ -146,6 +146,14 @@ class OptimizerConfig:
     #: many milliseconds is speculatively resubmitted to another worker
     #: (first result wins).  None disables speculation.
     fragment_timeout_ms: float | None = None
+    #: Cost-based rewrite selection (ROADMAP item 3, DESIGN.md §15):
+    #: price fusion candidates, the semi-join conversion block, join
+    #: order, and cache-populate placement with the CostModel (bytes
+    #: scanned + rows processed over memoized cardinality estimates)
+    #: and fire only the alternatives that price no worse, instead of
+    #: relying on the §IV.E heuristics alone.  Plan choice changes;
+    #: results never do — the fuzzer's costed axis enforces it.
+    cost_based: bool = False
     #: When True, distinct aggregates are lowered to MarkDistinct
     #: *before* the fusion rules run, exercising §III.F's MarkDistinct
     #: fusion on e.g. TPC-DS Q28.  The default lowers after fusion,

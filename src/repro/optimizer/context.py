@@ -43,7 +43,18 @@ class OptimizerContext:
 
         self.allocator: ColumnAllocator = self.catalog.allocator
         self.fuser = Fuser(self.allocator, validate=self.config.validate_plans)
-        self.estimator = CardinalityEstimator(self.catalog)
+        self.estimator = CardinalityEstimator(self.catalog, plan_cache=self.plan_cache)
+        #: Cost-based rewrite selection (DESIGN.md §15): present only
+        #: when the config asks for it; ``choose`` degrades to
+        #: always-accept otherwise.  Imported lazily — the cost module
+        #: imports the rule engine, which imports this module.
+        self.cost_model = None
+        if self.config.cost_based:
+            from repro.optimizer.cost import CostModel
+
+            self.cost_model = CostModel(
+                self.catalog, self.estimator, plan_cache=self.plan_cache
+            )
         self._spool_counter = 0
 
     def record(self, rule_name: str) -> None:
@@ -68,6 +79,26 @@ class OptimizerContext:
             if isinstance(node, Scan) and self.catalog.has_table(node.table):
                 total += self.catalog.row_count(node.table)
         return total
+
+    def choose(self, name: str, original: PlanNode, candidate: PlanNode) -> bool:
+        """Cost gate for one rewrite: True means *take the candidate*.
+
+        Heuristic mode (no cost model) always accepts — rules keep
+        their §IV.E behavior.  In cost mode the candidate must price no
+        worse than the original; a decline is recorded as
+        ``<name>.cost_declined`` so benchmarks and tests can observe
+        which rewrites the model rejected.  Shared subtrees between the
+        two alternatives are priced once (the model memoizes by node
+        identity).
+        """
+        if self.cost_model is None:
+            return True
+        original_cost = self.cost_model.cost(original)
+        candidate_cost = self.cost_model.cost(candidate)
+        if candidate_cost.total <= original_cost.total:
+            return True
+        self.record(f"{name}.cost_declined")
+        return False
 
     def worth_fusing(self, common: PlanNode) -> bool:
         """Is eliminating a duplicate of ``common`` worth the rewrite?

@@ -51,7 +51,19 @@ class JoinGraphRule(PlanPass):
             inputs_changed |= processed is not semi.right
             semi.right = processed
 
+        # Cost-gated mode (DESIGN.md §15): snapshot the region before
+        # the rule mutates it, then price the rebuilt candidate against
+        # the rebuilt original.  The two rebuilds share every input
+        # subtree by identity, so the model prices only the deltas.
+        snapshot = graph.copy() if ctx.cost_model is not None else None
         changed = self.apply(graph, ctx)
+        if changed and snapshot is not None:
+            candidate = rebuild_join_region(graph, ctx)
+            original = rebuild_join_region(snapshot, ctx)
+            if not ctx.choose(self.name, original, candidate):
+                return original if inputs_changed else plan
+            ctx.record(self.name)
+            return candidate
         if changed:
             ctx.record(self.name)
         if changed or inputs_changed:

@@ -76,6 +76,12 @@ def fuse_branches(
 
 class UnionAllFusion(RewriteRule):
     name = "union_all_fusion"
+    #: §IV.D's tag-table path replicates every common row once per
+    #: branch (cross join against the tag Values) — the SystemML-style
+    #: case where always-fuse loses: over a narrow scan the replicated
+    #: row work outweighs the one saved scan.  The cost model prices it
+    #: per candidate (DESIGN.md §15).
+    cost_gated = True
 
     def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
         if not isinstance(node, UnionAll) or len(node.inputs) < 2:

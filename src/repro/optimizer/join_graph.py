@@ -64,6 +64,20 @@ class JoinGraph:
     #: Replacements for columns of fused-away inputs, applied at rebuild.
     substitution: dict[int, Expression] = field(default_factory=dict)
 
+    def copy(self) -> "JoinGraph":
+        """Snapshot for cost-gated speculation: rules mutate the
+        graph's lists and semi entries in place, so a gate that may
+        decline needs an independent graph to rebuild the original
+        region from.  Input plans are shared (immutable), which also
+        lets the cost model price the untouched subtrees once."""
+        return JoinGraph(
+            list(self.inputs),
+            list(self.conjuncts),
+            [SemiEntry(s.kind, s.right, s.condition) for s in self.semis],
+            self.output_columns,
+            dict(self.substitution),
+        )
+
     def add_substitution(self, entries: dict[int, Expression]) -> None:
         """Merge new replacement entries, composing existing ones
         through them (so chains like t→a, a→b resolve to t→b)."""

@@ -23,6 +23,7 @@ from repro.algebra.operators import PlanNode
 from repro.catalog.catalog import Catalog
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.context import OptimizerContext
+from repro.optimizer.cost import CostGatedGroup
 from repro.optimizer.parallel_plan import ParallelPlan
 from repro.optimizer.fusion_rules import (
     GroupByJoinToWindow,
@@ -77,12 +78,36 @@ def build_pipeline(config: OptimizerConfig) -> list[PlanPass]:
         passes.append(UnionAllOnJoin())
     if config.enable_fusion and config.enable_union_all:
         passes.append(UnionAllFusion())
-    passes.append(SemiJoinToDistinctJoin())
-    passes.append(MergeProjections())
-    passes.append(DistinctPushdown())
-    if config.enable_fusion and config.enable_groupby_join_to_window:
+    window_rule = config.enable_fusion and config.enable_groupby_join_to_window
+    keys_rule = config.enable_fusion and config.enable_join_on_keys
+    if config.cost_based:
+        # Cost mode (DESIGN.md §15): the semi-join → distinct-join
+        # conversion is an *enabler* — locally a pessimization whose
+        # payoff is the JoinOnKeys fusion it unlocks — so it is priced
+        # as one group with the fusion rules behind it.  The fusion
+        # rules then re-run outside the group (idempotent when the
+        # group already fused) so a declined conversion does not starve
+        # independent fusion opportunities, and the cleanups re-run so
+        # a decline does not lose them.
+        group: list[PlanPass] = [
+            SemiJoinToDistinctJoin(),
+            MergeProjections(),
+            DistinctPushdown(),
+        ]
+        if window_rule:
+            group.append(GroupByJoinToWindow())
+        if keys_rule:
+            group.append(JoinOnKeys())
+        passes.append(CostGatedGroup("semijoin_distinct_group", group))
+        passes.append(MergeProjections())
+        passes.append(DistinctPushdown())
+    else:
+        passes.append(SemiJoinToDistinctJoin())
+        passes.append(MergeProjections())
+        passes.append(DistinctPushdown())
+    if window_rule:
         passes.append(GroupByJoinToWindow())
-    if config.enable_fusion and config.enable_join_on_keys:
+    if keys_rule:
         passes.append(JoinOnKeys())
     passes.extend(
         [

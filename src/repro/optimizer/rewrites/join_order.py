@@ -46,6 +46,18 @@ class GreedyJoinOrder(PlanPass):
         for semi in graph.semis:
             semi.right = self.run(semi.right, ctx)
         if len(graph.inputs) >= 2:
+            if ctx.cost_model is not None:
+                # Cost-based selection (DESIGN.md §15): keep whichever
+                # of {greedy order, original order} prices cheaper.
+                # Both rebuilds share the input subtrees, so only the
+                # join spines are priced anew.
+                snapshot = graph.copy()
+                graph.inputs = self._order(graph, ctx)
+                candidate = rebuild_join_region(graph, ctx)
+                original = rebuild_join_region(snapshot, ctx)
+                if not ctx.choose(self.name, original, candidate):
+                    return original
+                return candidate
             graph.inputs = self._order(graph, ctx)
         return rebuild_join_region(graph, ctx)
 

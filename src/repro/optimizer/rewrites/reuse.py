@@ -160,6 +160,11 @@ class CrossQueryReuse(PlanPass):
         if isinstance(node, Spool):
             return True
         if isinstance(node, (GroupBy, Window)):
+            if ctx.cost_model is not None:
+                # Cost-based placement (DESIGN.md §15): materialize
+                # only when recomputing the subplan prices higher than
+                # a multiple of the bytes the entry would hold.
+                return ctx.cost_model.populate_worthwhile(node)
             return ctx.worth_fusing(node)
         return False
 

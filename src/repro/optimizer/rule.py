@@ -36,6 +36,11 @@ class RewriteRule(PlanPass):
     """A node-local rewrite applied bottom-up to fixpoint."""
 
     name: str = "rule"
+    #: When True and the context carries a cost model (DESIGN.md §15),
+    #: each successful rewrite is priced against the node it replaces
+    #: and kept only if it costs no worse.  Declining returns the
+    #: original node, so the fixpoint loop still terminates.
+    cost_gated: bool = False
 
     @abc.abstractmethod
     def rewrite(self, node: PlanNode, ctx: OptimizerContext) -> PlanNode | None:
@@ -49,6 +54,8 @@ class RewriteRule(PlanPass):
                 nonlocal changed
                 rewritten = self.rewrite(node, ctx)
                 if rewritten is None:
+                    return node
+                if self.cost_gated and not ctx.choose(self.name, node, rewritten):
                     return node
                 changed = True
                 ctx.record(self.name)

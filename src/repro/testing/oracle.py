@@ -119,12 +119,19 @@ class DifferentialOracle:
         batch_rows: int = 128,
         analysis: bool = True,
         worker_counts: tuple[int, ...] = (),
+        cost_axis: bool = False,
     ):
         self.store = store
         self.batch_rows = batch_rows
         #: When set, every successful cell also checks its rows against
         #: the static column facts derived from its optimized plan.
         self.analysis = analysis
+        #: Costed-vs-heuristic axis (DESIGN.md §15): re-run every query
+        #: on the batch engine with ``cost_based=True`` (fusion on/off
+        #: × cold/warm).  Cost-based selection changes which rewrites
+        #: fire, never what a query returns — these cells are held to
+        #: the same row-identical bar as every other cell.
+        self.cost_axis = cost_axis
         #: Extra parallel-execution cells: for each ``n > 1`` the batch
         #: engine re-runs every query at ``workers=n`` (fusion on/off ×
         #: cold/warm), sharing one persistent worker pool per count so
@@ -224,6 +231,15 @@ class DifferentialOracle:
             for fusion in (False, True):
                 session = Session(self.store, self._config(overrides, fusion))
                 label = f"{engine}/{'fusion' if fusion else 'baseline'}"
+                outcomes[f"{label}/cold"] = self._run_once(session, sql)
+                outcomes[f"{label}/warm"] = self._run_once(session, sql)
+        if self.cost_axis:
+            for fusion in (False, True):
+                session = Session(
+                    self.store,
+                    self._config({"engine": "batch", "cost_based": True}, fusion),
+                )
+                label = f"batch-costed/{'fusion' if fusion else 'baseline'}"
                 outcomes[f"{label}/cold"] = self._run_once(session, sql)
                 outcomes[f"{label}/warm"] = self._run_once(session, sql)
         for workers in self.worker_counts:

@@ -90,6 +90,7 @@ def run_fuzz(
     fail_fast: bool = False,
     analysis: bool = True,
     workers: tuple[int, ...] = (),
+    cost_axis: bool = False,
     progress: Callable[[int, "FuzzReport"], None] | None = None,
 ) -> FuzzReport:
     """Run ``count`` seeded queries through the differential oracle.
@@ -100,7 +101,9 @@ def run_fuzz(
     (see :class:`~repro.testing.oracle.DifferentialOracle`).
     ``workers`` adds parallel-execution cells to the matrix: each
     count > 1 re-runs every query on the batch engine at ``workers=n``
-    against one shared fragment worker pool.
+    against one shared fragment worker pool.  ``cost_axis`` adds
+    costed-vs-heuristic cells: the batch engine re-runs every query
+    with cost-based rewrite selection, and the rows must match.
     """
     if store is None:
         store = generate_dataset(scale=scale, seed=data_seed)
@@ -110,7 +113,10 @@ def run_fuzz(
     report = FuzzReport(seed=seed, count=count)
 
     with DifferentialOracle(
-        store, analysis=analysis, worker_counts=tuple(workers)
+        store,
+        analysis=analysis,
+        worker_counts=tuple(workers),
+        cost_axis=cost_axis,
     ) as oracle:
         for index in range(count):
             spec = generator.generate()
